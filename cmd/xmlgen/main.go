@@ -1,0 +1,52 @@
+// Command xmlgen materializes the synthetic workload documents of the
+// paper's experiments (and the realistic catalog/auction documents) as
+// XML files, for use with xpathquery or external tools.
+//
+//	xmlgen -kind doc -n 200 > doc200.xml        # DOC(200) of Section 2
+//	xmlgen -kind docprime -n 10 > docp10.xml    # DOC'(10) of Experiment 2
+//	xmlgen -kind deep -n 50 > deep50.xml        # Experiment 5(b) path
+//	xmlgen -kind catalog -n 100 > catalog.xml
+//	xmlgen -kind auction -n 100 -seed 7 > auction.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	kind := flag.String("kind", "doc", "document family: doc|docprime|deep|catalog|auction")
+	n := flag.Int("n", 10, "size parameter")
+	seed := flag.Int64("seed", 1, "seed for randomized families")
+	flag.Parse()
+
+	var d *xmltree.Document
+	switch *kind {
+	case "doc":
+		d = workload.Doc(*n)
+	case "docprime":
+		d = workload.DocPrime(*n)
+	case "deep":
+		d = workload.DeepDoc(*n)
+	case "catalog":
+		d = workload.Catalog(*n)
+	case "auction":
+		d = workload.Auction(*seed, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, `<?xml version="1.0"?>`)
+	if err := d.WriteXML(w); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,54 @@
+// Command xpathbench regenerates the tables and figures of the paper's
+// evaluation section on the current machine.
+//
+// Usage:
+//
+//	xpathbench -exp all                 # everything (several minutes)
+//	xpathbench -exp exp1                # Figure 2 left
+//	xpathbench -exp table7 -cap 5s      # Table VII with a 5s point cap
+//
+// Experiments: exp1, exp2, exp3, exp4, exp5a, exp5b, table5 (also covers
+// Figure 12), table7, ablate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: exp1|exp2|exp3|exp4|exp5a|exp5b|table5|table7|ablate|all")
+	cap := flag.Duration("cap", 2*time.Second, "wall-clock cap per measured point")
+	scale := flag.Float64("scale", 1, "document-size scale factor for exp4 (1 = paper-sized)")
+	flag.Parse()
+
+	cfg := bench.Config{Cap: *cap, Scale: *scale, Out: os.Stdout}
+	runners := map[string]func(){
+		"exp1":   func() { bench.Exp1(cfg) },
+		"exp2":   func() { bench.Exp2(cfg) },
+		"exp3":   func() { bench.Exp3(cfg) },
+		"exp4":   func() { bench.Exp4(cfg) },
+		"exp5a":  func() { bench.Exp5(cfg, false) },
+		"exp5b":  func() { bench.Exp5(cfg, true) },
+		"table5": func() { bench.Table5(cfg) },
+		"table7": func() { bench.Table7(cfg) },
+		"ablate": func() { bench.Ablation(cfg) },
+	}
+	order := []string{"exp1", "exp2", "exp3", "exp4", "exp5a", "exp5b", "table5", "table7", "ablate"}
+	if *exp == "all" {
+		for _, name := range order {
+			runners[name]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *exp, order)
+		os.Exit(2)
+	}
+	run()
+}

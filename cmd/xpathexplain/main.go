@@ -1,0 +1,35 @@
+// Command xpathexplain shows how this library sees a query: the
+// normalized (unabbreviated) form of Section 5, the parse tree with
+// static types and relevant contexts (Section 8.2, as in the paper's
+// Example 8.2), the fragment classification of Figure 1, and the
+// algorithm the Auto strategy would dispatch to.
+//
+//	xpathexplain '//a[5]/b[parent::a/child::* = "c"]'
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: xpathexplain <query>")
+		os.Exit(2)
+	}
+	q, err := core.Compile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathexplain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("query:       %s\n", q)
+	fmt.Printf("normalized:  %s\n", q.Expr())
+	fmt.Printf("fragment:    %s\n", q.Fragment())
+	d, _ := core.ParseString("<x/>") // strategy choice is data independent
+	fmt.Printf("auto picks:  %s\n\n", core.NewEngine(d, core.Auto).StrategyFor(q))
+	fmt.Println("parse tree (type : relevant context):")
+	fmt.Print(xpath.TreeString(q.Expr()))
+}

@@ -1,0 +1,96 @@
+// Command xpathquery evaluates an XPath 1.0 query over an XML document.
+//
+// Usage:
+//
+//	xpathquery -query '//book[price > 10]/title' catalog.xml
+//	cat doc.xml | xpathquery -query 'count(//item)'
+//	xpathquery -query '//a' -strategy topdown -explain doc.xml
+//
+// The -strategy flag selects one of the paper's algorithms (default
+// auto = the combined OptMinContext processor); -explain prints the
+// fragment classification and the algorithm chosen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/semantics"
+	"repro/internal/xpath"
+)
+
+func main() {
+	query := flag.String("query", "", "XPath query (required)")
+	strategy := flag.String("strategy", "auto", "evaluation strategy: auto|naive|datapool|bottomup|topdown|mincontext|optmincontext|corexpath|xpatterns")
+	explain := flag.Bool("explain", false, "print fragment classification and chosen algorithm")
+	flag.Parse()
+
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "xpathquery: -query is required")
+		os.Exit(2)
+	}
+	strat, ok := core.StrategyByName(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xpathquery: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := core.Parse(in)
+	if err != nil {
+		fail(err)
+	}
+	q, err := core.Compile(*query)
+	if err != nil {
+		fail(err)
+	}
+	en := core.NewEngine(doc, strat)
+	if *explain {
+		fmt.Printf("query:    %s\n", q)
+		fmt.Printf("fragment: %s\n", q.Fragment())
+		fmt.Printf("strategy: %s\n", en.StrategyFor(q))
+		fmt.Printf("normal:   %s\n", q.Expr())
+	}
+	v, err := en.Evaluate(q, core.Context{Node: doc.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		fail(err)
+	}
+	switch v.Kind {
+	case xpath.TypeNodeSet:
+		fmt.Printf("%d node(s):\n", len(v.Set))
+		for _, n := range v.Set {
+			node := doc.Node(n)
+			switch {
+			case node.Type.HasName():
+				fmt.Printf("  %s %s  value=%q\n", node.Type, node.Name, truncate(doc.StringValue(n), 60))
+			default:
+				fmt.Printf("  %s  value=%q\n", node.Type, truncate(doc.StringValue(n), 60))
+			}
+		}
+	default:
+		fmt.Println(semantics.ToString(doc, v))
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "xpathquery: %v\n", err)
+	os.Exit(1)
+}

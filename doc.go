@@ -1,0 +1,10 @@
+// Package repro reproduces Gottlob, Koch and Pichler, "Efficient
+// Algorithms for Processing XPath Queries" (VLDB 2002): a complete
+// XPath 1.0 engine with every evaluation algorithm the paper develops —
+// from the exponential naive baseline to the polynomial context-value-
+// table algorithms and the linear-time fragment evaluators — plus the
+// benchmark harness regenerating the paper's experiments.
+//
+// See internal/core for the public engine API, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for measured results.
+package repro

@@ -1,0 +1,62 @@
+// Bookstore: a realistic catalog workload exercising predicates,
+// positions, id() cross-references, and fragment classification — the
+// kind of queries the paper's introduction motivates (tree patterns
+// with value and structural conditions).
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+func main() {
+	// workload.Catalog builds an ID-cross-referenced product catalog.
+	d := workload.Catalog(50)
+	en := core.NewEngine(d, core.Auto)
+
+	queries := []string{
+		// Structural: Core XPath, runs on the linear-time algebra.
+		"//product[discontinued]/name",
+		// Value comparison against a constant: XPatterns.
+		"//product[@category = 'audio']/name",
+		// Positions: Extended Wadler Fragment → OptMinContext.
+		"//product[position() = last()]/name",
+		// Aggregation: full XPath → OptMinContext (MinContext bounds).
+		"count(//product[price > 50])",
+		// ID dereference: follow each accessory reference.
+		"id(//product/accessory)/name",
+	}
+	for _, src := range queries {
+		q, err := core.Compile(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query:    %s\n", src)
+		fmt.Printf("fragment: %s  →  strategy %s\n", q.Fragment(), en.StrategyFor(q))
+		v, err := en.Evaluate(q, core.Context{Node: d.RootID(), Pos: 1, Size: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Kind == xpath.TypeNodeSet {
+			fmt.Printf("result:   %d node(s)", len(v.Set))
+			for i, n := range v.Set {
+				if i == 3 {
+					fmt.Printf(" …")
+					break
+				}
+				fmt.Printf("  %q", d.StringValue(n))
+			}
+			fmt.Println()
+		} else {
+			s, _ := en.EvalString(q)
+			fmt.Printf("result:   %s\n", s)
+		}
+		fmt.Println()
+	}
+}

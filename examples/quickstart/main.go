@@ -1,0 +1,58 @@
+// Quickstart: parse a document, compile a query, evaluate it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+const doc = `
+<library>
+  <book id="b1" year="1994"><title>TCP/IP Illustrated</title><price>65.5</price></book>
+  <book id="b2" year="2000"><title>Data on the Web</title><price>39.5</price></book>
+  <book id="b3" year="2002"><title>XQuery from the Experts</title><price>49.5</price></book>
+</library>`
+
+func main() {
+	d, err := core.ParseString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One-shot selection with the automatic strategy.
+	books, err := core.Select(d, "//book[price > 45]/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books over $45:")
+	for _, n := range books {
+		fmt.Printf("  - %s\n", d.StringValue(n))
+	}
+
+	// Compile once, inspect, evaluate.
+	q := core.MustCompile("//book[@year > 1999][position() != last()]")
+	fmt.Printf("\nquery:    %s\nfragment: %s\n", q, q.Fragment())
+
+	en := core.NewEngine(d, core.Auto)
+	fmt.Printf("strategy: %s\n", en.StrategyFor(q))
+	hits, err := en.Select(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range hits {
+		if v, ok := d.Attr(n, "id"); ok {
+			fmt.Printf("  hit: book id=%s\n", v)
+		}
+	}
+
+	// Scalar queries work too.
+	total, err := en.EvalString(core.MustCompile("sum(//price)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsum(//price) = %s\n", total)
+}

@@ -1,0 +1,134 @@
+// Package axes implements the XPath axes of Gottlob, Koch and Pichler,
+// Sections 3 and 4: the thirteen navigational axes defined as limited
+// regular expressions over the primitive tree relations "firstchild" and
+// "nextsibling" (Table I), the linear-time set-at-a-time evaluator of
+// Algorithm 3.2, typed-axis filtering of attribute and namespace nodes,
+// axis inverses (Lemma 10.1), and the per-axis document orders <doc,χ.
+//
+// The package also provides the "id" pseudo-axis used by XPatterns
+// (Section 10.2) and the Extended Wadler Fragment (Section 11), defined
+// via the document's ref relation (Theorem 10.7).
+package axes
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Axis enumerates the XPath axes plus the id pseudo-axis.
+type Axis uint8
+
+// The XPath axes. Values are stable and ordered as in Table I.
+const (
+	Self Axis = iota
+	Child
+	Parent
+	Descendant
+	Ancestor
+	DescendantOrSelf
+	AncestorOrSelf
+	Following
+	Preceding
+	FollowingSibling
+	PrecedingSibling
+	AttributeAxis
+	NamespaceAxis
+	// IDAxis is the "id" axis of Section 10.2: x id y iff
+	// y ∈ deref_ids(strval(x)), realized through the ref relation.
+	IDAxis
+)
+
+var axisNames = map[Axis]string{
+	Self: "self", Child: "child", Parent: "parent",
+	Descendant: "descendant", Ancestor: "ancestor",
+	DescendantOrSelf: "descendant-or-self", AncestorOrSelf: "ancestor-or-self",
+	Following: "following", Preceding: "preceding",
+	FollowingSibling: "following-sibling", PrecedingSibling: "preceding-sibling",
+	AttributeAxis: "attribute", NamespaceAxis: "namespace",
+	IDAxis: "id",
+}
+
+// String returns the XPath name of the axis.
+func (a Axis) String() string {
+	if s, ok := axisNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Axis(%d)", uint8(a))
+}
+
+// ByName resolves an axis name as written in a query. The id pseudo-axis
+// is not nameable in XPath syntax and is not resolved here.
+func ByName(name string) (Axis, bool) {
+	for a, s := range axisNames {
+		if a != IDAxis && s == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Inverse returns the natural inverse of the axis (Lemma 10.1):
+// self⁻¹ = self, child⁻¹ = parent, descendant⁻¹ = ancestor, and so on.
+func (a Axis) Inverse() Axis {
+	switch a {
+	case Self:
+		return Self
+	case Child:
+		return Parent
+	case Parent:
+		return Child
+	case Descendant:
+		return Ancestor
+	case Ancestor:
+		return Descendant
+	case DescendantOrSelf:
+		return AncestorOrSelf
+	case AncestorOrSelf:
+		return DescendantOrSelf
+	case Following:
+		return Preceding
+	case Preceding:
+		return Following
+	case FollowingSibling:
+		return PrecedingSibling
+	case PrecedingSibling:
+		return FollowingSibling
+	case AttributeAxis, NamespaceAxis:
+		// The inverse of attribute/namespace is "parent restricted to
+		// elements"; Parent is the correct navigational inverse here
+		// because attribute and namespace nodes only ever appear as
+		// abstract children of elements.
+		return Parent
+	case IDAxis:
+		panic("axes: IDAxis inverse is not an axis; use EvalIDInverse")
+	default:
+		panic("axes: unknown axis")
+	}
+}
+
+// IsReverse reports whether <doc,χ is reverse document order for this
+// axis (Section 4): true for parent, ancestor, ancestor-or-self,
+// preceding and preceding-sibling.
+func (a Axis) IsReverse() bool {
+	switch a {
+	case Parent, Ancestor, AncestorOrSelf, Preceding, PrecedingSibling:
+		return true
+	default:
+		return false
+	}
+}
+
+// PrincipalType returns the principal node type of the axis (Section 4):
+// attribute for the attribute axis, namespace for the namespace axis,
+// and element for every other axis.
+func (a Axis) PrincipalType() xmltree.NodeType {
+	switch a {
+	case AttributeAxis:
+		return xmltree.Attribute
+	case NamespaceAxis:
+		return xmltree.Namespace
+	default:
+		return xmltree.Element
+	}
+}

@@ -1,0 +1,266 @@
+package axes
+
+import "repro/internal/xmltree"
+
+// prim identifies one of the four primitive tree relations of Section 3:
+// firstchild, nextsibling, and their inverses.
+type prim uint8
+
+const (
+	firstchild prim = iota
+	nextsibling
+	firstchildInv
+	nextsiblingInv
+)
+
+// apply evaluates a primitive relation as a partial function dom → dom,
+// returning NilNode where no image exists.
+func (p prim) apply(d *xmltree.Document, x xmltree.NodeID) xmltree.NodeID {
+	switch p {
+	case firstchild:
+		return d.FirstChild(x)
+	case nextsibling:
+		return d.NextSibling(x)
+	case firstchildInv:
+		return d.FirstChildInv(x)
+	case nextsiblingInv:
+		return d.PrevSibling(x)
+	default:
+		panic("axes: bad primitive")
+	}
+}
+
+// evaluator realizes Algorithm 3.2. It carries a visited bitmap sized to
+// the document so that the reflexive-transitive-closure worklist runs in
+// O(|dom|) (membership checks in constant time via "a direct-access
+// version of S′ maintained in parallel to its list representation").
+type evaluator struct {
+	d       *xmltree.Document
+	visited []bool
+}
+
+func newEvaluator(d *xmltree.Document) *evaluator {
+	return &evaluator{d: d, visited: make([]bool, d.Len())}
+}
+
+// step is eval_R(S) = {R(x) | x ∈ S} for a primitive relation R.
+func (e *evaluator) step(p prim, s []xmltree.NodeID) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, 0, len(s))
+	for _, x := range s {
+		if y := p.apply(e.d, x); y != xmltree.NilNode {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// closure is eval_(R1∪···∪Rn)*(S): the worklist computation of all nodes
+// reachable from S in zero or more steps of the given primitive
+// relations. The input list is extended in place as in the paper; the
+// visited bitmap guarantees each node is appended at most once.
+func (e *evaluator) closure(ps []prim, s []xmltree.NodeID) []xmltree.NodeID {
+	work := make([]xmltree.NodeID, 0, len(s)*2)
+	for _, x := range s {
+		if !e.visited[x] {
+			e.visited[x] = true
+			work = append(work, x)
+		}
+	}
+	for i := 0; i < len(work); i++ {
+		x := work[i]
+		for _, p := range ps {
+			if y := p.apply(e.d, x); y != xmltree.NilNode && !e.visited[y] {
+				e.visited[y] = true
+				work = append(work, y)
+			}
+		}
+	}
+	for _, x := range work {
+		e.visited[x] = false // reset for reuse
+	}
+	return work
+}
+
+// untyped evaluates the abstract (untyped) axis function χ₀ of Section 3
+// on a list of nodes, composing the regular expressions of Table I:
+//
+//	child               = firstchild.nextsibling*
+//	parent              = (nextsibling⁻¹)*.firstchild⁻¹
+//	descendant          = firstchild.(firstchild ∪ nextsibling)*
+//	ancestor            = (firstchild⁻¹ ∪ nextsibling⁻¹)*.firstchild⁻¹
+//	descendant-or-self  = descendant ∪ self
+//	ancestor-or-self    = ancestor ∪ self
+//	following           = ancestor-or-self.nextsibling.nextsibling*.descendant-or-self
+//	preceding           = ancestor-or-self.nextsibling⁻¹.(nextsibling⁻¹)*.descendant-or-self
+//	following-sibling   = nextsibling.nextsibling*
+//	preceding-sibling   = (nextsibling⁻¹)*.nextsibling⁻¹
+//
+// Concatenation composes left to right: eval_{e1.e2}(S) = eval_e2(eval_e1(S)).
+func (e *evaluator) untyped(a Axis, s []xmltree.NodeID) []xmltree.NodeID {
+	switch a {
+	case Self:
+		return s
+	case Child, AttributeAxis, NamespaceAxis:
+		// attribute and namespace are child₀ plus a type filter applied
+		// by the caller (Section 4).
+		return e.closure([]prim{nextsibling}, e.step(firstchild, s))
+	case Parent:
+		return e.step(firstchildInv, e.closure([]prim{nextsiblingInv}, s))
+	case Descendant:
+		return e.closure([]prim{firstchild, nextsibling}, e.step(firstchild, s))
+	case Ancestor:
+		return e.step(firstchildInv, e.closure([]prim{firstchildInv, nextsiblingInv}, s))
+	case DescendantOrSelf:
+		return dedup(append(e.untyped(Descendant, s), s...))
+	case AncestorOrSelf:
+		return dedup(append(e.untyped(Ancestor, s), s...))
+	case Following:
+		t := e.untyped(AncestorOrSelf, s)
+		t = e.closure([]prim{nextsibling}, e.step(nextsibling, t))
+		return e.untyped(DescendantOrSelf, t)
+	case Preceding:
+		t := e.untyped(AncestorOrSelf, s)
+		t = e.closure([]prim{nextsiblingInv}, e.step(nextsiblingInv, t))
+		return e.untyped(DescendantOrSelf, t)
+	case FollowingSibling:
+		return e.closure([]prim{nextsibling}, e.step(nextsibling, s))
+	case PrecedingSibling:
+		return e.step(nextsiblingInv, e.closure([]prim{nextsiblingInv}, s))
+	default:
+		panic("axes: untyped axis " + a.String())
+	}
+}
+
+func dedup(s []xmltree.NodeID) []xmltree.NodeID {
+	seen := map[xmltree.NodeID]bool{}
+	out := s[:0]
+	for _, x := range s {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Eval computes the typed XPath axis function χ(S) of Section 4 as a
+// document-ordered NodeSet:
+//
+//	attribute(S) = child₀(S) ∩ T(attribute())
+//	namespace(S) = child₀(S) ∩ T(namespace())
+//	χ(S)         = χ₀(S) − (T(attribute()) ∪ T(namespace()))   otherwise
+//
+// with the W3C-conformant refinement that the self contribution of self,
+// descendant-or-self and ancestor-or-self retains attribute and namespace
+// context nodes (a context attribute node is its own self).
+//
+// The running time is O(|dom|) per call (Lemma 3.3).
+func Eval(d *xmltree.Document, a Axis, s xmltree.NodeSet) xmltree.NodeSet {
+	if len(s) == 0 {
+		return nil
+	}
+	if a == IDAxis {
+		return EvalID(d, s)
+	}
+	e := newEvaluator(d)
+	raw := e.untyped(a, s)
+	out := make(xmltree.NodeSet, 0, len(raw))
+	switch a {
+	case AttributeAxis:
+		for _, x := range raw {
+			if d.Type(x) == xmltree.Attribute {
+				out = append(out, x)
+			}
+		}
+	case NamespaceAxis:
+		for _, x := range raw {
+			if d.Type(x) == xmltree.Namespace {
+				out = append(out, x)
+			}
+		}
+	default:
+		keepSelf := a == Self || a == DescendantOrSelf || a == AncestorOrSelf
+		inS := map[xmltree.NodeID]bool{}
+		if keepSelf {
+			for _, x := range s {
+				inS[x] = true
+			}
+		}
+		for _, x := range raw {
+			if !d.Node(x).IsAttrOrNS() || (keepSelf && inS[x]) {
+				out = append(out, x)
+			}
+		}
+	}
+	return xmltree.NewNodeSet(out...)
+}
+
+// EvalNode computes χ({x}).
+func EvalNode(d *xmltree.Document, a Axis, x xmltree.NodeID) xmltree.NodeSet {
+	return Eval(d, a, xmltree.NodeSet{x})
+}
+
+// EvalID computes the id pseudo-axis: id(S) is the set of nodes reachable
+// from S and its descendants through the ref relation (Theorem 10.7):
+//
+//	id(S) = {y | x ∈ descendant-or-self(S), ⟨x,y⟩ ∈ ref}
+//
+// This runs in linear time.
+func EvalID(d *xmltree.Document, s xmltree.NodeSet) xmltree.NodeSet {
+	scope := Eval(d, DescendantOrSelf, s)
+	var out []xmltree.NodeID
+	for _, x := range scope {
+		out = append(out, d.Ref(x)...)
+	}
+	return xmltree.NewNodeSet(out...)
+}
+
+// EvalIDInverse computes id⁻¹(S) (Theorem 10.7):
+//
+//	id⁻¹(S) = ancestor-or-self({x | ⟨x,y⟩ ∈ ref, y ∈ S})
+func EvalIDInverse(d *xmltree.Document, s xmltree.NodeSet) xmltree.NodeSet {
+	var srcs []xmltree.NodeID
+	for _, y := range s {
+		srcs = append(srcs, d.RefInv(y)...)
+	}
+	return Eval(d, AncestorOrSelf, xmltree.NewNodeSet(srcs...))
+}
+
+// EvalInverse computes χ⁻¹(S) for any axis including the id pseudo-axis.
+func EvalInverse(d *xmltree.Document, a Axis, s xmltree.NodeSet) xmltree.NodeSet {
+	if a == IDAxis {
+		return EvalIDInverse(d, s)
+	}
+	if a == AttributeAxis || a == NamespaceAxis {
+		// Only attribute/namespace nodes can be reached over these axes,
+		// so the preimage is the set of parents of such members.
+		var out []xmltree.NodeID
+		want := xmltree.Attribute
+		if a == NamespaceAxis {
+			want = xmltree.Namespace
+		}
+		for _, x := range s {
+			if d.Type(x) == want {
+				out = append(out, d.Parent(x))
+			}
+		}
+		return xmltree.NewNodeSet(out...)
+	}
+	return Eval(d, a.Inverse(), s)
+}
+
+// Index returns idx_χ(x, S): the 1-based index of x within S with respect
+// to <doc,χ — document order for forward axes, reverse document order for
+// reverse axes (Section 4). S must be sorted in document order and
+// contain x.
+func Index(a Axis, x xmltree.NodeID, s xmltree.NodeSet) int {
+	for i, y := range s {
+		if y == x {
+			if a.IsReverse() {
+				return len(s) - i
+			}
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+package axes
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// TestEvalInverseMatchesInverseAxis: EvalInverse(χ, S) must equal
+// Eval(χ⁻¹, S) for ordinary axes, on a document with every node type.
+func TestEvalInverseMatchesInverseAxis(t *testing.T) {
+	d, err := xmltree.ParseString(
+		`<a x="1"><b><c>t</c></b><!--cm--><?pi p?><e><f/></e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordinary := []Axis{Self, Child, Parent, Descendant, Ancestor,
+		DescendantOrSelf, AncestorOrSelf, Following, Preceding,
+		FollowingSibling, PrecedingSibling}
+	for _, ax := range ordinary {
+		for i := 0; i < d.Len(); i++ {
+			s := xmltree.NodeSet{xmltree.NodeID(i)}
+			got := EvalInverse(d, ax, s)
+			want := Eval(d, ax.Inverse(), s)
+			if !got.Equal(want) {
+				t.Errorf("axis %v node %d: EvalInverse %v != Eval(inverse) %v", ax, i, got, want)
+			}
+		}
+	}
+}
+
+// TestInverseInvolution: (χ⁻¹)⁻¹ = χ.
+func TestInverseInvolution(t *testing.T) {
+	for _, ax := range []Axis{Self, Child, Parent, Descendant, Ancestor,
+		DescendantOrSelf, AncestorOrSelf, Following, Preceding,
+		FollowingSibling, PrecedingSibling} {
+		if ax.Inverse().Inverse() != ax {
+			t.Errorf("axis %v: double inverse is %v", ax, ax.Inverse().Inverse())
+		}
+	}
+}
+
+// TestAttributeInverseRoundTrip: for every attribute node y of element
+// x, x ∈ attribute⁻¹({y}) and y ∈ attribute({x}).
+func TestAttributeInverseRoundTrip(t *testing.T) {
+	d, err := xmltree.ParseString(`<a p="1" q="2"><b r="3"/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		x := xmltree.NodeID(i)
+		if d.Type(x) != xmltree.Element {
+			continue
+		}
+		for _, y := range Eval(d, AttributeAxis, xmltree.NodeSet{x}) {
+			back := EvalInverse(d, AttributeAxis, xmltree.NodeSet{y})
+			if len(back) != 1 || back[0] != x {
+				t.Errorf("attribute⁻¹(%d) = %v, want {%d}", y, back, x)
+			}
+		}
+	}
+}
+
+// TestIDAxisInverseConsistency: x ∈ id⁻¹({y}) for every y ∈ id({x}).
+func TestIDAxisInverseConsistency(t *testing.T) {
+	d, err := xmltree.ParseString(
+		`<t id="1"> 2 <t id="2"> 3 </t><t id="3"> 1 </t></t>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		x := xmltree.NodeID(i)
+		for _, y := range EvalID(d, xmltree.NodeSet{x}) {
+			back := EvalIDInverse(d, xmltree.NodeSet{y})
+			if !back.Contains(x) {
+				t.Errorf("id⁻¹(%d) misses %d", y, x)
+			}
+		}
+	}
+}
+
+func TestInverseOfIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IDAxis.Inverse() should panic; use EvalIDInverse")
+		}
+	}()
+	_ = IDAxis.Inverse()
+}
+
+func TestEvalEmptySet(t *testing.T) {
+	d, _ := xmltree.ParseString(`<a/>`)
+	for _, ax := range []Axis{Child, Descendant, Following, IDAxis} {
+		if got := Eval(d, ax, nil); !got.IsEmpty() {
+			t.Errorf("axis %v on empty set = %v", ax, got)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package bottomup implements the bottom-up context-value-table
+// evaluation of Section 6 (Definition 6.1, Algorithm 6.3). For every
+// node of the query parse tree — visited leaves-first — it materializes
+// the complete context-value table E↑[[e]]: the relation associating
+// every context ⟨x, k, n⟩ with the value of e in that context. The final
+// answer is read out of the root table.
+//
+// Tables are stored with the column omission the paper itself applies in
+// its examples (footnote 8 and Figure 9): columns of the context a
+// subexpression provably cannot observe — per the Relev analysis of
+// Section 8.2 — are not materialized, and lookups project onto the
+// stored columns. Expressions that depend on the full context ⟨x, k, n⟩
+// still enumerate O(|D|³) rows, which is the honest cost of Algorithm
+// 6.3; the improved engines of Sections 7 and 8 exist precisely to avoid
+// it. Use this engine on small documents.
+package bottomup
+
+import (
+	"fmt"
+
+	"repro/internal/evalutil"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Evaluator evaluates XPath queries by materializing context-value
+// tables bottom-up.
+type Evaluator struct {
+	doc *xmltree.Document
+	// MaxTableRows guards against accidentally materializing huge
+	// tables (the |D|³ case on large documents); 0 means unlimited.
+	MaxTableRows int
+}
+
+// New returns a bottom-up evaluator for the document.
+func New(d *xmltree.Document) *Evaluator { return &Evaluator{doc: d} }
+
+// ctxKey is a context projected onto the relevant columns; irrelevant
+// columns are fixed sentinels so all contexts agreeing on the relevant
+// part share one row.
+type ctxKey struct {
+	node      xmltree.NodeID
+	pos, size int32
+}
+
+// table is a context-value table E↑[[e]] (Table III): a relation with a
+// functional dependency from context to value, stored sparsely on the
+// relevant columns.
+type table struct {
+	relev xpath.Relev
+	vals  map[ctxKey]semantics.Value
+}
+
+func (t *table) key(c semantics.Context) ctxKey {
+	k := ctxKey{node: xmltree.NilNode, pos: -1, size: -1}
+	if t.relev.Has(xpath.RelevNode) {
+		k.node = c.Node
+	}
+	if t.relev.Has(xpath.RelevPos) {
+		k.pos = int32(c.Pos)
+	}
+	if t.relev.Has(xpath.RelevSize) {
+		k.size = int32(c.Size)
+	}
+	return k
+}
+
+// get looks up the value of the table's expression in context c.
+func (t *table) get(c semantics.Context) (semantics.Value, bool) {
+	v, ok := t.vals[t.key(c)]
+	return v, ok
+}
+
+// Evaluate runs Algorithm 6.3 and reads the result for context c out of
+// the root table.
+func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	t, err := ev.buildTable(e)
+	if err != nil {
+		return semantics.Value{}, err
+	}
+	v, ok := t.get(c)
+	if !ok {
+		return semantics.Value{}, fmt.Errorf("bottomup: context ⟨%d,%d,%d⟩ not covered", c.Node, c.Pos, c.Size)
+	}
+	return v, nil
+}
+
+// Table exposes the complete context-value table of an expression for
+// inspection (used by tests reproducing Figures 6 and 9).
+func (ev *Evaluator) Table(e xpath.Expr) (map[semantics.Context]semantics.Value, error) {
+	t, err := ev.buildTable(e)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[semantics.Context]semantics.Value, len(t.vals))
+	for k, v := range t.vals {
+		out[semantics.Context{Node: k.node, Pos: int(k.pos), Size: int(k.size)}] = v
+	}
+	return out, nil
+}
+
+// contexts enumerates the projected context domain for a relevance set:
+// nodes if cn is relevant, positions 1..|dom| if cp, sizes 1..|dom| if
+// cs, with k ≤ n when both are relevant (the domain of contexts C of
+// Section 5).
+func (ev *Evaluator) contexts(r xpath.Relev) ([]semantics.Context, error) {
+	n := ev.doc.Len()
+	nodes := []xmltree.NodeID{xmltree.NilNode}
+	if r.Has(xpath.RelevNode) {
+		nodes = make([]xmltree.NodeID, n)
+		for i := range nodes {
+			nodes[i] = xmltree.NodeID(i)
+		}
+	}
+	type ps struct{ p, s int }
+	pss := []ps{{-1, -1}}
+	switch {
+	case r.Has(xpath.RelevPos) && r.Has(xpath.RelevSize):
+		pss = nil
+		for s := 1; s <= n; s++ {
+			for p := 1; p <= s; p++ {
+				pss = append(pss, ps{p, s})
+			}
+		}
+	case r.Has(xpath.RelevPos):
+		pss = nil
+		for p := 1; p <= n; p++ {
+			pss = append(pss, ps{p, -1})
+		}
+	case r.Has(xpath.RelevSize):
+		pss = nil
+		for s := 1; s <= n; s++ {
+			pss = append(pss, ps{-1, s})
+		}
+	}
+	total := len(nodes) * len(pss)
+	if ev.MaxTableRows > 0 && total > ev.MaxTableRows {
+		return nil, fmt.Errorf("bottomup: table with %d rows exceeds limit %d", total, ev.MaxTableRows)
+	}
+	out := make([]semantics.Context, 0, total)
+	for _, x := range nodes {
+		for _, kn := range pss {
+			out = append(out, semantics.Context{Node: x, Pos: kn.p, Size: kn.s})
+		}
+	}
+	return out, nil
+}
+
+// buildTable computes E↑[[e]] by first computing the tables of all direct
+// subexpressions (the while-loop of Algorithm 6.3 realized as structural
+// recursion, which visits parse-tree nodes in a valid bottom-up order).
+func (ev *Evaluator) buildTable(e xpath.Expr) (*table, error) {
+	relev := xpath.RelevantContext(e)
+	switch x := e.(type) {
+	case *xpath.Number:
+		return ev.constTable(relev, semantics.Number(x.Val))
+	case *xpath.Literal:
+		return ev.constTable(relev, semantics.String(x.Val))
+	case *xpath.VarRef:
+		return nil, fmt.Errorf("bottomup: unbound variable $%s", x.Name)
+	case *xpath.Negate:
+		sub, err := ev.buildTable(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return ev.mapTables(relev, []*table{sub}, func(c semantics.Context, vs []semantics.Value) (semantics.Value, error) {
+			return semantics.Number(-semantics.ToNumber(ev.doc, vs[0])), nil
+		})
+	case *xpath.Binary:
+		lt, err := ev.buildTable(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := ev.buildTable(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return ev.mapTables(relev, []*table{lt, rt}, func(c semantics.Context, vs []semantics.Value) (semantics.Value, error) {
+			return applyBinary(ev.doc, x.Op, vs[0], vs[1])
+		})
+	case *xpath.Call:
+		subs := make([]*table, len(x.Args))
+		for i, a := range x.Args {
+			t, err := ev.buildTable(a)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = t
+		}
+		return ev.mapTables(relev, subs, func(c semantics.Context, vs []semantics.Value) (semantics.Value, error) {
+			return semantics.CallFunction(ev.doc, x.Name, c, vs)
+		})
+	case *xpath.Path:
+		return ev.pathTable(x)
+	case *xpath.FilterExpr:
+		return ev.filterTable(x)
+	default:
+		return nil, fmt.Errorf("bottomup: unknown expression %T", e)
+	}
+}
+
+func (ev *Evaluator) constTable(r xpath.Relev, v semantics.Value) (*table, error) {
+	t := &table{relev: r, vals: map[ctxKey]semantics.Value{}}
+	t.vals[t.key(semantics.Context{Node: xmltree.NilNode, Pos: -1, Size: -1})] = v
+	return t, nil
+}
+
+// mapTables builds a table for an m-ary operation from its children's
+// tables: for every context in the projected domain, child values are
+// looked up (each child projecting further onto its own columns) and
+// combined. This is the generic
+//
+//	E↑[[Op(e1,…,em)]] = {⟨c, F[[Op]](v1,…,vm)⟩ | ⟨c,vi⟩ ∈ E↑[[ei]]}
+//
+// rule of Definition 6.1.
+func (ev *Evaluator) mapTables(r xpath.Relev, subs []*table, f func(semantics.Context, []semantics.Value) (semantics.Value, error)) (*table, error) {
+	ctxs, err := ev.contexts(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{relev: r, vals: make(map[ctxKey]semantics.Value, len(ctxs))}
+	vs := make([]semantics.Value, len(subs))
+	for _, c := range ctxs {
+		for i, sub := range subs {
+			v, ok := sub.get(c)
+			if !ok {
+				return nil, fmt.Errorf("bottomup: child table missing context ⟨%d,%d,%d⟩", c.Node, c.Pos, c.Size)
+			}
+			vs[i] = v
+		}
+		v, err := f(c, vs)
+		if err != nil {
+			return nil, err
+		}
+		t.vals[t.key(c)] = v
+	}
+	return t, nil
+}
+
+func applyBinary(d *xmltree.Document, op xpath.BinOp, l, r semantics.Value) (semantics.Value, error) {
+	switch {
+	case op == xpath.OpAnd:
+		return semantics.Boolean(semantics.ToBoolean(l) && semantics.ToBoolean(r)), nil
+	case op == xpath.OpOr:
+		return semantics.Boolean(semantics.ToBoolean(l) || semantics.ToBoolean(r)), nil
+	case op == xpath.OpUnion:
+		if l.Kind != xpath.TypeNodeSet || r.Kind != xpath.TypeNodeSet {
+			return semantics.Value{}, fmt.Errorf("bottomup: | on non-node-sets")
+		}
+		return semantics.NodeSet(l.Set.Union(r.Set)), nil
+	case op.IsRelOp():
+		return semantics.Boolean(semantics.Compare(d, op, l, r)), nil
+	case op.IsArith():
+		return semantics.Number(semantics.Arith(op, semantics.ToNumber(d, l), semantics.ToNumber(d, r))), nil
+	default:
+		return semantics.Value{}, fmt.Errorf("bottomup: unknown operator %v", op)
+	}
+}
+
+// stepRelation computes the per-node relation of one location step with
+// its predicates applied: rel[x] = filtered {y | x χ y, y ∈ T(t)}. The
+// location-step rows of Table IV:
+//
+//	E↑[[χ::t]]  = {⟨x,k,n, {y | xχy, y∈T(t)}⟩}
+//	E↑[[E[e]]] = {⟨x,k,n, {y ∈ S | ⟨y, idx_χ(y,S), |S|, true⟩ ∈ E↑[[e]]}⟩}
+func (ev *Evaluator) stepRelation(step *xpath.Step) (map[xmltree.NodeID]xmltree.NodeSet, error) {
+	rel := make(map[xmltree.NodeID]xmltree.NodeSet, ev.doc.Len())
+	// Predicate tables are built once per predicate (bottom-up!).
+	predTables := make([]*table, len(step.Preds))
+	for i, p := range step.Preds {
+		t, err := ev.buildTable(p)
+		if err != nil {
+			return nil, err
+		}
+		predTables[i] = t
+	}
+	for i := 0; i < ev.doc.Len(); i++ {
+		x := xmltree.NodeID(i)
+		s := evalutil.StepCandidates(ev.doc, step.Axis, step.Test, x)
+		for _, pt := range predTables {
+			ordered := evalutil.AxisOrdered(step.Axis, s)
+			var keep []xmltree.NodeID
+			for j, y := range ordered {
+				c := semantics.Context{Node: y, Pos: j + 1, Size: len(ordered)}
+				v, ok := pt.get(c)
+				if !ok {
+					return nil, fmt.Errorf("bottomup: predicate table missing context")
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, y)
+				}
+			}
+			s = xmltree.NewNodeSet(keep...)
+		}
+		rel[x] = s
+	}
+	return rel, nil
+}
+
+// pathTable composes step relations per the location-path rows of Table
+// IV: composition unions the second relation over the image of the
+// first; an absolute path reads its value at the root for all contexts.
+func (ev *Evaluator) pathTable(p *xpath.Path) (*table, error) {
+	// cur[x] = nodes reachable from x via the steps handled so far.
+	cur := make(map[xmltree.NodeID]xmltree.NodeSet, ev.doc.Len())
+	switch {
+	case p.Filter != nil:
+		ft, err := ev.buildTable(p.Filter)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < ev.doc.Len(); i++ {
+			x := xmltree.NodeID(i)
+			v, ok := ft.get(semantics.Context{Node: x, Pos: -1, Size: -1})
+			if !ok {
+				// Filter may be position-dependent in pathological
+				// queries; Algorithm 6.3 as given does not arise there
+				// because the paper's normal form keeps heads simple.
+				return nil, fmt.Errorf("bottomup: position-dependent path head unsupported")
+			}
+			if v.Kind != xpath.TypeNodeSet {
+				return nil, fmt.Errorf("bottomup: path head is not a node set")
+			}
+			cur[x] = v.Set
+		}
+	case p.Absolute:
+		for i := 0; i < ev.doc.Len(); i++ {
+			cur[xmltree.NodeID(i)] = xmltree.NodeSet{ev.doc.RootID()}
+		}
+	default:
+		for i := 0; i < ev.doc.Len(); i++ {
+			x := xmltree.NodeID(i)
+			cur[x] = xmltree.NodeSet{x}
+		}
+	}
+	for _, step := range p.Steps {
+		rel, err := ev.stepRelation(step)
+		if err != nil {
+			return nil, err
+		}
+		next := make(map[xmltree.NodeID]xmltree.NodeSet, len(cur))
+		for x, ys := range cur {
+			var u xmltree.NodeSet
+			for _, y := range ys {
+				u = u.Union(rel[y])
+			}
+			next[x] = u
+		}
+		cur = next
+	}
+	relev := xpath.RelevantContext(p)
+	t := &table{relev: relev, vals: make(map[ctxKey]semantics.Value, len(cur))}
+	if !relev.Has(xpath.RelevNode) {
+		// Absolute path: same value for every context.
+		t.vals[t.key(semantics.Context{})] = semantics.NodeSet(cur[ev.doc.RootID()])
+		return t, nil
+	}
+	for x, s := range cur {
+		t.vals[t.key(semantics.Context{Node: x})] = semantics.NodeSet(s)
+	}
+	return t, nil
+}
+
+// filterTable evaluates a filter expression (primary + predicates) as a
+// table; positions are forward document order.
+func (ev *Evaluator) filterTable(f *xpath.FilterExpr) (*table, error) {
+	pt, err := ev.buildTable(f.Primary)
+	if err != nil {
+		return nil, err
+	}
+	predTables := make([]*table, len(f.Preds))
+	for i, p := range f.Preds {
+		t, err := ev.buildTable(p)
+		if err != nil {
+			return nil, err
+		}
+		predTables[i] = t
+	}
+	relev := xpath.RelevantContext(f)
+	ctxs, err := ev.contexts(relev)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{relev: relev, vals: make(map[ctxKey]semantics.Value, len(ctxs))}
+	for _, c := range ctxs {
+		v, ok := pt.get(c)
+		if !ok {
+			return nil, fmt.Errorf("bottomup: filter primary missing context")
+		}
+		if v.Kind != xpath.TypeNodeSet {
+			return nil, fmt.Errorf("bottomup: predicates on %v", v.Kind)
+		}
+		s := v.Set
+		for _, ptab := range predTables {
+			var keep []xmltree.NodeID
+			for i, y := range s {
+				pv, ok := ptab.get(semantics.Context{Node: y, Pos: i + 1, Size: len(s)})
+				if !ok {
+					return nil, fmt.Errorf("bottomup: filter predicate missing context")
+				}
+				if semantics.ToBoolean(pv) {
+					keep = append(keep, y)
+				}
+			}
+			s = xmltree.NewNodeSet(keep...)
+		}
+		t.vals[t.key(c)] = semantics.NodeSet(s)
+	}
+	return t, nil
+}

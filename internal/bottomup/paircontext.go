@@ -1,0 +1,199 @@
+package bottomup
+
+import (
+	"fmt"
+
+	"repro/internal/evalutil"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// PairEvaluator is the Remark 6.7 refinement of the bottom-up
+// algorithm: contexts are represented as pairs ⟨previous, current⟩ of
+// context nodes instead of ⟨node, position, size⟩ triples. The position
+// and size of a pair are recovered on demand relative to the axis and
+// node test that produced it:
+//
+//	⟨x0, x⟩ w.r.t. χ::t  ↦  ⟨x, idx_χ(x, Y), |Y|⟩,  Y = {y | x0 χ y, y ∈ T(t)}
+//
+// This pushes the maximum number of rows per context-value table from
+// O(|D|³) to O(|D|²), improving the bounds of Theorem 6.6 to
+// O(|D|⁴·|Q|²) time and O(|D|³·|Q|²) space — the same bounds the
+// top-down algorithm of Section 7 achieves.
+//
+// Tables here are materialized per location step while it is being
+// filtered: for each step χ::t[e] the predicate e is evaluated over
+// exactly the pair contexts the step generates, bottom-up (subexpression
+// tables first). Expressions whose Relev excludes cp/cs collapse to
+// per-node (or constant) tables exactly as in the plain evaluator.
+type PairEvaluator struct {
+	doc *xmltree.Document
+	// PairsEvaluated counts the distinct ⟨previous, current⟩ pair
+	// contexts materialized during the last Evaluate, exposing the
+	// O(|D|²) bound for tests.
+	PairsEvaluated int
+}
+
+// NewPair returns a Remark 6.7 evaluator for the document.
+func NewPair(d *xmltree.Document) *PairEvaluator { return &PairEvaluator{doc: d} }
+
+// Evaluate computes the query value for a context.
+func (ev *PairEvaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.PairsEvaluated = 0
+	return ev.eval(e, c)
+}
+
+// eval computes an expression for one concrete context. The bottom-up
+// structure lives in evalPath/stepRelation, which build whole relations
+// before the enclosing expression consumes them; scalar operators
+// evaluate pointwise.
+func (ev *PairEvaluator) eval(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	switch x := e.(type) {
+	case *xpath.Number:
+		return semantics.Number(x.Val), nil
+	case *xpath.Literal:
+		return semantics.String(x.Val), nil
+	case *xpath.VarRef:
+		return semantics.Value{}, fmt.Errorf("bottomup: unbound variable $%s", x.Name)
+	case *xpath.Negate:
+		v, err := ev.eval(x.X, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.Number(-semantics.ToNumber(ev.doc, v)), nil
+	case *xpath.Binary:
+		l, err := ev.eval(x.Left, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		r, err := ev.eval(x.Right, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return applyBinary(ev.doc, x.Op, l, r)
+	case *xpath.Call:
+		args := make([]semantics.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ev.eval(a, c)
+			if err != nil {
+				return semantics.Value{}, err
+			}
+			args[i] = v
+		}
+		return semantics.CallFunction(ev.doc, x.Name, c, args)
+	case *xpath.Path:
+		rel, err := ev.pathRelation(x)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		start := c.Node
+		if x.Absolute {
+			start = ev.doc.RootID()
+		}
+		if x.Filter != nil {
+			v, err := ev.eval(x.Filter, c)
+			if err != nil {
+				return semantics.Value{}, err
+			}
+			if v.Kind != xpath.TypeNodeSet {
+				return semantics.Value{}, fmt.Errorf("bottomup: path head is not a node set")
+			}
+			var out xmltree.NodeSet
+			for _, s := range v.Set {
+				out = out.Union(rel[s])
+			}
+			return semantics.NodeSet(out), nil
+		}
+		return semantics.NodeSet(rel[start]), nil
+	case *xpath.FilterExpr:
+		prim, err := ev.eval(x.Primary, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		if prim.Kind != xpath.TypeNodeSet {
+			return semantics.Value{}, fmt.Errorf("bottomup: predicates on %v", prim.Kind)
+		}
+		s := prim.Set
+		for _, pred := range x.Preds {
+			var keep []xmltree.NodeID
+			for i, y := range s {
+				pc := semantics.Context{Node: y, Pos: i + 1, Size: len(s)}
+				ev.PairsEvaluated++
+				v, err := ev.eval(pred, pc)
+				if err != nil {
+					return semantics.Value{}, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, y)
+				}
+			}
+			s = xmltree.NewNodeSet(keep...)
+		}
+		return semantics.NodeSet(s), nil
+	default:
+		return semantics.Value{}, fmt.Errorf("bottomup: unknown expression %T", e)
+	}
+}
+
+// pathRelation materializes the full relation of a path: for every
+// possible previous context node x₀, the set of nodes reachable. This
+// is the E↑ table restricted to pair contexts.
+func (ev *PairEvaluator) pathRelation(p *xpath.Path) (map[xmltree.NodeID]xmltree.NodeSet, error) {
+	cur := make(map[xmltree.NodeID]xmltree.NodeSet, ev.doc.Len())
+	for i := 0; i < ev.doc.Len(); i++ {
+		x := xmltree.NodeID(i)
+		cur[x] = xmltree.NodeSet{x}
+	}
+	if p.Absolute {
+		for i := 0; i < ev.doc.Len(); i++ {
+			cur[xmltree.NodeID(i)] = xmltree.NodeSet{ev.doc.RootID()}
+		}
+	}
+	for _, step := range p.Steps {
+		rel, err := ev.stepRelation(step)
+		if err != nil {
+			return nil, err
+		}
+		next := make(map[xmltree.NodeID]xmltree.NodeSet, len(cur))
+		for x0, ys := range cur {
+			var u xmltree.NodeSet
+			for _, y := range ys {
+				u = u.Union(rel[y])
+			}
+			next[x0] = u
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// stepRelation builds {⟨x, y⟩ | x χ y, y ∈ T(t), predicates hold} with
+// predicate contexts being exactly the pairs the step generates: the
+// Remark 6.7 representation. Every pair is evaluated at most once.
+func (ev *PairEvaluator) stepRelation(step *xpath.Step) (map[xmltree.NodeID]xmltree.NodeSet, error) {
+	rel := make(map[xmltree.NodeID]xmltree.NodeSet, ev.doc.Len())
+	for i := 0; i < ev.doc.Len(); i++ {
+		x := xmltree.NodeID(i)
+		s := evalutil.StepCandidates(ev.doc, step.Axis, step.Test, x)
+		for _, pred := range step.Preds {
+			ordered := evalutil.AxisOrdered(step.Axis, s)
+			var keep []xmltree.NodeID
+			for j, y := range ordered {
+				// Recover ⟨x, idx, size⟩ from the pair ⟨x, y⟩.
+				pc := semantics.Context{Node: y, Pos: j + 1, Size: len(ordered)}
+				ev.PairsEvaluated++
+				v, err := ev.eval(pred, pc)
+				if err != nil {
+					return nil, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, y)
+				}
+			}
+			s = xmltree.NewNodeSet(keep...)
+		}
+		rel[x] = s
+	}
+	return rel, nil
+}

@@ -1,0 +1,69 @@
+package bottomup
+
+import (
+	"testing"
+
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestPairEvaluatorAgreesWithPlain(t *testing.T) {
+	d := xmltree.MustParseString(
+		`<a id="10"><b><c>21 22</c><c>23 24</c><d>100</d></b><b><c>11 12</c><d>13 14</d><d>100</d></b></a>`)
+	ctx := semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}
+	plain := New(d)
+	pair := NewPair(d)
+	queries := []string{
+		"//c",
+		"//b/c[2]",
+		"//b/*[position() != last()]",
+		"//*[. = '100']",
+		"count(//c) + count(//d)",
+		"/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
+		"(//c)[2]",
+		"//b[1]/c | //b[2]/d",
+	}
+	for _, q := range queries {
+		e := xpath.MustParse(q)
+		want, err := plain.Evaluate(e, ctx)
+		if err != nil {
+			t.Fatalf("plain(%q): %v", q, err)
+		}
+		got, err := pair.Evaluate(e, ctx)
+		if err != nil {
+			t.Errorf("pair(%q): %v", q, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("pair(%q) = %+v, plain = %+v", q, got, want)
+		}
+	}
+}
+
+// TestPairContextBound verifies the Remark 6.7 claim: the number of
+// contexts materialized per step is O(|D|²), not O(|D|³). For the
+// Example 8.1 query over a document of n nodes the pair count per
+// predicate is at most n², whereas the full-context table would need
+// n·n(n+1)/2 rows.
+func TestPairContextBound(t *testing.T) {
+	var src string
+	src = "<a>"
+	for i := 0; i < 12; i++ {
+		src += "<b>1</b>"
+	}
+	src += "</a>"
+	d := xmltree.MustParseString(src)
+	n := d.Len()
+	pair := NewPair(d)
+	e := xpath.MustParse("/descendant::*/descendant::*[position() != last()]")
+	if _, err := pair.Evaluate(e, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if pair.PairsEvaluated > n*n {
+		t.Errorf("pairs evaluated = %d, exceeds |D|² = %d", pair.PairsEvaluated, n*n)
+	}
+	if pair.PairsEvaluated == 0 {
+		t.Error("no pair contexts recorded")
+	}
+}

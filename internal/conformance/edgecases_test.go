@@ -1,0 +1,184 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// edgeDoc exercises attribute contexts, mixed content and duplicate
+// values.
+const edgeDoc = `<r a="5" b="x"><p i="1">5</p><p i="2">x<q/>y</p><p>5</p><empty/></r>`
+
+// edgeQueries are semantic corner cases each engine must agree on.
+var edgeQueries = []string{
+	// Reverse-axis positions (proximity order).
+	"//q/ancestor::*[1]",
+	"//q/ancestor::*[2]",
+	"//empty/preceding-sibling::*[1]",
+	"//empty/preceding-sibling::*[position() = 1]",
+	"//p[last()]/preceding::*[last()]",
+	// Predicates over attributes.
+	"//p[@i]",
+	"//p[@i = '2']",
+	"//p[not(@i)]",
+	"//@i[. = '1']",
+	"//@i/..",
+	// Attribute node contexts flowing through further steps.
+	"//@a/parent::r",
+	"//@*[. = 'x']",
+	// Multiple predicates apply left to right over shrinking sets.
+	"//p[@i][2]",
+	"//p[2][@i]",
+	"//p[position() > 1][1]",
+	// Equality over node sets with duplicates in value space.
+	"//p = //@a",
+	"//p[. = //@a]",
+	"//p = //p",
+	// Empty-set comparisons.
+	"//nothing = //p",
+	"//nothing = ''",
+	"not(//nothing = '')",
+	"boolean(//nothing | //p)",
+	// Mixed content string values.
+	"string(//p[2])",
+	"string-length(//p[2])",
+	"normalize-space(' a  b ')",
+	// Arithmetic edge cases.
+	"1 div 0 > 1000000",
+	"-1 div 0 < -1000000",
+	"string(0 div 0)",
+	"string(-0)",
+	"5 mod 2",
+	"5.5 mod 2",
+	"number('  12  ') = 12",
+	"number('x') != number('x')", // NaN != NaN
+	// Union keeps document order and dedups.
+	"count(//p | //p)",
+	"count(//p | //@i)",
+	"(//p | //q)[1]",
+	// Filter expressions with trailing paths.
+	"(//p)[2]/child::q",
+	"(//p[@i])[last()]/@i",
+	// Nested functions.
+	"concat(string(count(//p)), '-', string(count(//@i)))",
+	"substring(string(//p[2]), string-length(string(//p[2])))",
+	// position() inside nested predicate refers to inner context.
+	"//p[child::node()[position() = 2]]",
+	// self axis with node tests.
+	"//p/self::p",
+	"//p/self::q",
+	"//@a/self::node()",
+	// lang() with no xml:lang returns false everywhere.
+	"count(//*[lang('en')])",
+}
+
+func TestEdgeCasesAgree(t *testing.T) {
+	d := xmltree.MustParseString(edgeDoc)
+	es := engines(d)
+	ctx := semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}
+	for _, q := range edgeQueries {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		ref, err := es["naive"].Evaluate(e, ctx)
+		if err != nil {
+			t.Fatalf("naive(%q): %v", q, err)
+		}
+		for name, eng := range es {
+			if name == "naive" {
+				continue
+			}
+			got, err := eng.Evaluate(e, ctx)
+			if err != nil {
+				t.Errorf("%s(%q): %v", name, q, err)
+				continue
+			}
+			if !got.Equal(ref) {
+				t.Errorf("%s(%q) = %+v, naive = %+v", name, q, got, ref)
+			}
+		}
+	}
+}
+
+// TestW3CSemanticsPinned pins down specific W3C-mandated answers
+// (rather than mere engine agreement).
+func TestW3CSemanticsPinned(t *testing.T) {
+	d := xmltree.MustParseString(edgeDoc)
+	ctx := semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}
+	eng := engines(d)["topdown"]
+	expectNum := func(q string, want float64) {
+		t.Helper()
+		v, err := eng.Evaluate(xpath.MustParse(q), ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if v.Num != want {
+			t.Errorf("%s = %v, want %v", q, v.Num, want)
+		}
+	}
+	expectBool := func(q string, want bool) {
+		t.Helper()
+		v, err := eng.Evaluate(xpath.MustParse(q), ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if v.Bool != want {
+			t.Errorf("%s = %v, want %v", q, v.Bool, want)
+		}
+	}
+	expectNum("count(//p)", 3)
+	expectNum("count(//@*)", 4)
+	expectNum("count(//p | //p)", 3) // union dedups
+	expectNum("5.5 mod 2", 1.5)
+	expectBool("//p = //@a", true) // both contain value "5"
+	expectBool("//p != //p", true) // existential inequality
+	expectBool("//nothing = //nothing", false)
+	expectBool("//nothing = ''", false)
+	expectBool("not(//nothing = '')", true)
+	expectBool("number('x') = number('x')", false) // NaN
+	// Reverse-axis proximity: ancestor::*[1] of q is its parent p.
+	v, err := eng.Evaluate(xpath.MustParse("//q/ancestor::*[1]"), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Set) != 1 || d.Name(v.Set[0]) != "p" {
+		t.Errorf("ancestor::*[1] = %v, want the parent p", v.Set)
+	}
+}
+
+// TestContextPositionVariants evaluates from non-root contexts with
+// explicit positions, which exercise position()/last() at the top
+// level.
+func TestContextPositionVariants(t *testing.T) {
+	d := xmltree.MustParseString(edgeDoc)
+	es := engines(d)
+	ps := d.Children(d.DocumentElement())
+	for _, q := range []string{"position()", "last()", "position() = last()",
+		"self::*[position() = 1]"} {
+		e := xpath.MustParse(q)
+		for i, p := range ps {
+			ctx := semantics.Context{Node: p, Pos: i + 1, Size: len(ps)}
+			ref, err := es["naive"].Evaluate(e, ctx)
+			if err != nil {
+				t.Fatalf("naive(%q): %v", q, err)
+			}
+			for name, eng := range es {
+				if name == "bottomup" && ctx.Pos > ctx.Size {
+					continue
+				}
+				got, err := eng.Evaluate(e, ctx)
+				if err != nil {
+					t.Errorf("%s(%q) at pos %d: %v", name, q, i+1, err)
+					continue
+				}
+				if !got.Equal(ref) {
+					t.Errorf("%s(%q) at pos %d = %+v, want %+v", name, q, i+1, got, ref)
+				}
+			}
+		}
+	}
+}

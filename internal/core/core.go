@@ -1,0 +1,290 @@
+// Package core is the public face of the library: compile an XPath 1.0
+// query once, evaluate it over documents with a selectable strategy.
+//
+// The Auto strategy implements the combined OptMinContext processor of
+// the paper's introduction: queries in the Core XPath fragment run on
+// the linear-time set algebra (Section 10.1), queries in the XPatterns
+// fragment on its linear-time extension (Section 10.2), queries in the
+// Extended Wadler Fragment — and everything else — on OptMinContext
+// (Section 11.2), which itself degrades gracefully to MinContext bounds
+// on full XPath. The remaining strategies expose every algorithm the
+// paper discusses, including the deliberately exponential naive engine
+// used as the experimental baseline.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bottomup"
+	"repro/internal/corexpath"
+	"repro/internal/datapool"
+	"repro/internal/mincontext"
+	"repro/internal/naive"
+	"repro/internal/semantics"
+	"repro/internal/topdown"
+	"repro/internal/wadler"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xpatterns"
+)
+
+// Document is an XML document in the paper's data model.
+type Document = xmltree.Document
+
+// Value is an XPath 1.0 result value (number, string, boolean or node
+// set).
+type Value = semantics.Value
+
+// Context is an XPath evaluation context ⟨node, position, size⟩.
+type Context = semantics.Context
+
+// NodeSet is a document-ordered set of nodes.
+type NodeSet = xmltree.NodeSet
+
+// Parse reads an XML document.
+func Parse(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// Strategy selects an evaluation algorithm.
+type Strategy int
+
+// The evaluation strategies, in roughly the order the paper develops
+// them.
+const (
+	// Auto picks the best applicable algorithm per query (Core XPath →
+	// XPatterns → OptMinContext).
+	Auto Strategy = iota
+	// Naive is the exponential-time recursive evaluator modeling
+	// XALAN/XT/Saxon/IE6 (Section 2).
+	Naive
+	// DataPool is Naive plus the memoizing data pool of Section 9.
+	DataPool
+	// BottomUp is the context-value-table Algorithm 6.3.
+	BottomUp
+	// TopDown is the vectorized evaluator of Section 7.
+	TopDown
+	// MinContext is the Section 8 algorithm.
+	MinContext
+	// OptMinContext is the Section 11.2 algorithm (full XPath, with
+	// bottom-up evaluation of Wadler-fragment subexpressions).
+	OptMinContext
+	// CoreXPath is the linear-time fragment algebra (Section 10.1);
+	// it rejects queries outside the fragment.
+	CoreXPath
+	// XPatterns is the linear-time XPatterns evaluator (Section 10.2);
+	// it rejects queries outside the fragment.
+	XPatterns
+)
+
+var strategyNames = map[Strategy]string{
+	Auto: "auto", Naive: "naive", DataPool: "datapool",
+	BottomUp: "bottomup", TopDown: "topdown", MinContext: "mincontext",
+	OptMinContext: "optmincontext", CoreXPath: "corexpath",
+	XPatterns: "xpatterns",
+}
+
+// String returns the strategy's flag name.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// StrategyByName resolves a flag name to a Strategy.
+func StrategyByName(name string) (Strategy, bool) {
+	for s, n := range strategyNames {
+		if n == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Fragment classifies a query into the lattice of Figure 1.
+type Fragment int
+
+// Fragments, smallest first.
+const (
+	FragmentCoreXPath Fragment = iota
+	FragmentXPatterns
+	FragmentWadler
+	FragmentFullXPath
+)
+
+// String names the fragment as in the paper.
+func (f Fragment) String() string {
+	switch f {
+	case FragmentCoreXPath:
+		return "Core XPath"
+	case FragmentXPatterns:
+		return "XPatterns"
+	case FragmentWadler:
+		return "Extended Wadler Fragment"
+	default:
+		return "Full XPath"
+	}
+}
+
+// Query is a compiled XPath query.
+type Query struct {
+	src  string
+	expr xpath.Expr
+	frag Fragment
+}
+
+// Compile parses and normalizes a query.
+func Compile(src string) (*Query, error) {
+	return CompileWithBindings(src, nil)
+}
+
+// CompileWithBindings parses a query and substitutes variable bindings
+// (per Section 5, variables are replaced by constants before
+// evaluation).
+func CompileWithBindings(src string, bindings xpath.Bindings) (*Query, error) {
+	e, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if bindings != nil {
+		e, err = xpath.Substitute(e, bindings)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if xpath.HasVariables(e) {
+		return nil, fmt.Errorf("core: query has unbound variables; supply bindings")
+	}
+	return &Query{src: src, expr: e, frag: classify(e)}, nil
+}
+
+// MustCompile compiles a query known to be valid; it panics on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.src }
+
+// Expr exposes the normalized expression tree.
+func (q *Query) Expr() xpath.Expr { return q.expr }
+
+// Fragment reports the smallest fragment of Figure 1 containing the
+// query.
+func (q *Query) Fragment() Fragment { return q.frag }
+
+func classify(e xpath.Expr) Fragment {
+	switch {
+	case corexpath.InFragment(e):
+		return FragmentCoreXPath
+	case xpatterns.InFragment(e):
+		return FragmentXPatterns
+	case wadler.InFragment(e):
+		return FragmentWadler
+	default:
+		return FragmentFullXPath
+	}
+}
+
+// Engine evaluates compiled queries over one document with a fixed
+// strategy.
+type Engine struct {
+	doc      *Document
+	strategy Strategy
+
+	// NaiveBudget bounds naive-strategy evaluations (0 = unlimited);
+	// see naive.Evaluator.Budget.
+	NaiveBudget int64
+}
+
+// NewEngine creates an engine over a document.
+func NewEngine(d *Document, s Strategy) *Engine {
+	return &Engine{doc: d, strategy: s}
+}
+
+// Strategy returns the engine's configured strategy.
+func (en *Engine) Strategy() Strategy { return en.strategy }
+
+// StrategyFor reports the concrete algorithm Auto would pick for a
+// query.
+func (en *Engine) StrategyFor(q *Query) Strategy {
+	if en.strategy != Auto {
+		return en.strategy
+	}
+	switch q.frag {
+	case FragmentCoreXPath:
+		return CoreXPath
+	case FragmentXPatterns:
+		return XPatterns
+	default:
+		return OptMinContext
+	}
+}
+
+// Evaluate computes the query's value for an explicit context.
+func (en *Engine) Evaluate(q *Query, c Context) (Value, error) {
+	switch en.StrategyFor(q) {
+	case Naive:
+		ev := naive.New(en.doc)
+		ev.Budget = en.NaiveBudget
+		return ev.Evaluate(q.expr, c)
+	case DataPool:
+		ev, _ := datapool.NewEvaluator(en.doc)
+		ev.Budget = en.NaiveBudget
+		return ev.Evaluate(q.expr, c)
+	case BottomUp:
+		return bottomup.New(en.doc).Evaluate(q.expr, c)
+	case TopDown:
+		return topdown.New(en.doc).Evaluate(q.expr, c)
+	case MinContext:
+		return mincontext.New(en.doc).Evaluate(q.expr, c)
+	case OptMinContext:
+		return wadler.New(en.doc).Evaluate(q.expr, c)
+	case CoreXPath:
+		return corexpath.New(en.doc).Evaluate(q.expr, c)
+	case XPatterns:
+		return xpatterns.New(en.doc).Evaluate(q.expr, c)
+	default:
+		return Value{}, fmt.Errorf("core: unknown strategy %v", en.strategy)
+	}
+}
+
+// Select evaluates a node-set query from the document root and returns
+// the selected nodes in document order.
+func (en *Engine) Select(q *Query) (NodeSet, error) {
+	v, err := en.Evaluate(q, Context{Node: en.doc.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != xpath.TypeNodeSet {
+		return nil, fmt.Errorf("core: query %s returns %v, not a node set", q.src, v.Kind)
+	}
+	return v.Set, nil
+}
+
+// EvalString evaluates any query from the root and renders the result
+// as a string (node sets via the string-value of the first node).
+func (en *Engine) EvalString(q *Query) (string, error) {
+	v, err := en.Evaluate(q, Context{Node: en.doc.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		return "", err
+	}
+	return semantics.ToString(en.doc, v), nil
+}
+
+// Select is a one-shot convenience: compile and evaluate a node-set
+// query over a document with the Auto strategy.
+func Select(d *Document, query string) (NodeSet, error) {
+	q, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(d, Auto).Select(q)
+}

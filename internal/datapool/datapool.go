@@ -1,0 +1,110 @@
+// Package datapool implements the data pool of Section 9 (Algorithm
+// 9.1): a memo table of ⟨expression, context, value⟩ triples with a
+// retrieval procedure consulted before every basic evaluation step and a
+// storage procedure run after it. Plugging the pool into the naive
+// recursive evaluator bounds the number of distinct (recursive) calls by
+// O(|D|³·|Q|) and therefore turns the exponential evaluator into a
+// polynomial one (Theorem 9.2) — the paper demonstrates exactly this by
+// patching Xalan (Table V, Figure 12).
+package datapool
+
+import (
+	"repro/internal/naive"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// ctxKey identifies a context. Location paths only depend on the context
+// node (Section 9.2 stores ⟨π, ⟨x, cp, cs⟩, v⟩ for all cp, cs); keying
+// paths by node alone realizes that collapsed storage.
+type ctxKey struct {
+	node      xmltree.NodeID
+	pos, size int
+}
+
+// Pool is a data pool. It implements naive.Pool.
+type Pool struct {
+	tables map[xpath.Expr]map[ctxKey]semantics.Value
+	relev  map[xpath.Expr]xpath.Relev
+
+	// Hits and Misses count retrieval-procedure outcomes, exposing the
+	// sharing the pool achieves.
+	Hits, Misses int64
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{
+		tables: map[xpath.Expr]map[ctxKey]semantics.Value{},
+		relev:  map[xpath.Expr]xpath.Relev{},
+	}
+}
+
+func (p *Pool) key(e xpath.Expr, c semantics.Context) ctxKey {
+	// Project the context onto its relevant part: an expression that
+	// cannot observe position/size is stored once per node, and a
+	// constant once overall. This is the Section 9.2 refinement for
+	// location paths, generalized through Relev (Section 8.2). The
+	// analysis is memoized per expression node so the projection is
+	// O(1) amortized.
+	r, ok := p.relev[e]
+	if !ok {
+		r = xpath.RelevantContext(e)
+		p.relev[e] = r
+	}
+	k := ctxKey{node: xmltree.NilNode, pos: -1, size: -1}
+	if r.Has(xpath.RelevNode) {
+		k.node = c.Node
+	}
+	if r.Has(xpath.RelevPos) {
+		k.pos = c.Pos
+	}
+	if r.Has(xpath.RelevSize) {
+		k.size = c.Size
+	}
+	return k
+}
+
+// Lookup is the retrieval procedure: it returns the stored value of e in
+// context c, if any.
+func (p *Pool) Lookup(e xpath.Expr, c semantics.Context) (semantics.Value, bool) {
+	t, ok := p.tables[e]
+	if !ok {
+		p.Misses++
+		return semantics.Value{}, false
+	}
+	v, ok := t[p.key(e, c)]
+	if ok {
+		p.Hits++
+	} else {
+		p.Misses++
+	}
+	return v, ok
+}
+
+// Store is the storage procedure: it records ⟨e, c, v⟩ in the pool.
+func (p *Pool) Store(e xpath.Expr, c semantics.Context, v semantics.Value) {
+	t, ok := p.tables[e]
+	if !ok {
+		t = map[ctxKey]semantics.Value{}
+		p.tables[e] = t
+	}
+	t[p.key(e, c)] = v
+}
+
+// Size returns the total number of stored triples.
+func (p *Pool) Size() int {
+	n := 0
+	for _, t := range p.tables {
+		n += len(t)
+	}
+	return n
+}
+
+// NewEvaluator returns a naive evaluator upgraded with a fresh data
+// pool, i.e. the paper's "Xalan + data pool" configuration.
+func NewEvaluator(d *xmltree.Document) (*naive.Evaluator, *Pool) {
+	p := New()
+	return naive.NewWithPool(d, p), p
+}

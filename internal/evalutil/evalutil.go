@@ -1,0 +1,50 @@
+// Package evalutil holds small helpers shared by the evaluation engines:
+// location-step candidate computation ({y | x χ y, y ∈ T(t)}) and the
+// per-axis ordering of candidate sets used for context positions.
+package evalutil
+
+import (
+	"repro/internal/axes"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// StepCandidates computes S = {y | x χ y, y ∈ T(t)} for a single context
+// node: the axis image filtered by the node test, in document order.
+func StepCandidates(d *xmltree.Document, a axes.Axis, t xpath.NodeTest, x xmltree.NodeID) xmltree.NodeSet {
+	img := axes.EvalNode(d, a, x)
+	return FilterTest(d, a, t, img)
+}
+
+// StepCandidatesSet computes {y | ∃x∈X: x χ y, y ∈ T(t)}.
+func StepCandidatesSet(d *xmltree.Document, a axes.Axis, t xpath.NodeTest, xs xmltree.NodeSet) xmltree.NodeSet {
+	img := axes.Eval(d, a, xs)
+	return FilterTest(d, a, t, img)
+}
+
+// FilterTest restricts a node set to the nodes satisfying the node test
+// under the axis's principal node type.
+func FilterTest(d *xmltree.Document, a axes.Axis, t xpath.NodeTest, s xmltree.NodeSet) xmltree.NodeSet {
+	principal := a.PrincipalType()
+	out := make(xmltree.NodeSet, 0, len(s))
+	for _, y := range s {
+		if t.Matches(d, principal, y) {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// AxisOrdered returns the candidate set ordered by <doc,χ: document
+// order for forward axes, reverse document order for reverse axes
+// (Section 4). The input must be in document order.
+func AxisOrdered(a axes.Axis, s xmltree.NodeSet) []xmltree.NodeID {
+	if !a.IsReverse() {
+		return s
+	}
+	out := make([]xmltree.NodeID, len(s))
+	for i, id := range s {
+		out[len(s)-1-i] = id
+	}
+	return out
+}

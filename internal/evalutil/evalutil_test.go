@@ -1,0 +1,97 @@
+package evalutil
+
+import (
+	"testing"
+
+	"repro/internal/axes"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<a x="1"><b/>t<c/><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func step(t *testing.T, src string) *xpath.Step {
+	t.Helper()
+	p := xpath.MustParse(src).(*xpath.Path)
+	return p.Steps[len(p.Steps)-1]
+}
+
+func TestStepCandidates(t *testing.T) {
+	d := doc(t)
+	a := d.DocumentElement()
+	s := step(t, "child::b")
+	got := StepCandidates(d, s.Axis, s.Test, a)
+	if len(got) != 2 {
+		t.Errorf("child::b candidates = %v", got)
+	}
+	s = step(t, "child::node()")
+	got = StepCandidates(d, s.Axis, s.Test, a)
+	if len(got) != 4 { // b, text, c, b — not the attribute
+		t.Errorf("child::node() candidates = %v (want 4)", got)
+	}
+	s = step(t, "child::text()")
+	got = StepCandidates(d, s.Axis, s.Test, a)
+	if len(got) != 1 || d.Type(got[0]) != xmltree.Text {
+		t.Errorf("child::text() candidates = %v", got)
+	}
+	s = step(t, "attribute::x")
+	got = StepCandidates(d, s.Axis, s.Test, a)
+	if len(got) != 1 || d.Type(got[0]) != xmltree.Attribute {
+		t.Errorf("@x candidates = %v", got)
+	}
+}
+
+func TestStepCandidatesSetEqualsUnion(t *testing.T) {
+	d := doc(t)
+	a := d.DocumentElement()
+	kids := d.Children(a)
+	s := step(t, "following-sibling::*")
+	xs := xmltree.NewNodeSet(kids[0], kids[2])
+	got := StepCandidatesSet(d, s.Axis, s.Test, xs)
+	want := StepCandidates(d, s.Axis, s.Test, kids[0]).
+		Union(StepCandidates(d, s.Axis, s.Test, kids[2]))
+	if !got.Equal(want) {
+		t.Errorf("set = %v, union = %v", got, want)
+	}
+}
+
+func TestAxisOrdered(t *testing.T) {
+	s := xmltree.NodeSet{1, 2, 3}
+	fw := AxisOrdered(axes.Child, s)
+	if fw[0] != 1 || fw[2] != 3 {
+		t.Errorf("forward order = %v", fw)
+	}
+	rv := AxisOrdered(axes.Ancestor, s)
+	if rv[0] != 3 || rv[2] != 1 {
+		t.Errorf("reverse order = %v", rv)
+	}
+	// Input slice must not be mutated.
+	if s[0] != 1 {
+		t.Error("AxisOrdered mutated its input")
+	}
+}
+
+func TestFilterTestPrincipalType(t *testing.T) {
+	d := doc(t)
+	a := d.DocumentElement()
+	// The * test under the child axis matches elements only (principal
+	// type element): text nodes are excluded.
+	all := axes.EvalNode(d, axes.Child, a)
+	starTest := xpath.NodeTest{Kind: xpath.TestName, Name: "*"}
+	got := FilterTest(d, axes.Child, starTest, all)
+	for _, n := range got {
+		if d.Type(n) != xmltree.Element {
+			t.Errorf("* matched non-element %v", d.Type(n))
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("child::* = %d nodes, want 3", len(got))
+	}
+}

@@ -1,0 +1,112 @@
+package mincontext
+
+import (
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestInnerLocpathRelation checks eval_inner_locpath's relation against
+// brute-force per-node evaluation.
+func TestInnerLocpathRelation(t *testing.T) {
+	d := xmltree.MustParseString(
+		`<a><b><c/><c/></b><b><c/></b><d><c/></d></a>`)
+	nv := naive.New(d)
+	ev := New(d)
+	paths := []string{
+		"child::c",
+		"child::b/child::c",
+		"descendant::c",
+		"/descendant::b/child::c",
+		"child::c[position() = 2]",
+		"following-sibling::*/child::c",
+	}
+	var all xmltree.NodeSet
+	for i := 0; i < d.Len(); i++ {
+		all = append(all, xmltree.NodeID(i))
+	}
+	for _, q := range paths {
+		p := xpath.MustParse(q).(*xpath.Path)
+		st := newState(ev)
+		rel, err := st.evalInnerLocpath(p, all)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, x := range all {
+			want, err := nv.Evaluate(p, semantics.Context{Node: x, Pos: 1, Size: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rel[x].Equal(want.Set) {
+				t.Errorf("%s from %d: relation %v, naive %v", q, x, rel[x], want.Set)
+			}
+		}
+	}
+}
+
+// TestTablesShareAcrossPredicates: evaluating a query whose predicate
+// repeats a subexpression must reuse the covered rows (the whole point
+// of the context-value tables). We verify observable behaviour: the
+// repeated-subexpression query evaluates correctly and the state covers
+// each node once.
+func TestCoverageBookkeeping(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b/><b/><b/></a>`)
+	ev := New(d)
+	st := newState(ev)
+	e := xpath.MustParse("count(child::b)")
+	all := xmltree.NodeSet{0, 1, 2}
+	if err := st.evalByCnodeOnly(e, all); err != nil {
+		t.Fatal(err)
+	}
+	// A second call with an overlapping set must be a no-op (uncovered
+	// returns empty) and not error.
+	if err := st.evalByCnodeOnly(e, xmltree.NodeSet{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Values are correct per node.
+	for n := xmltree.NodeID(0); n < 4; n++ {
+		v, err := st.evalSingleContext(e, semantics.Context{Node: n, Pos: -1, Size: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		if d.Type(n) == xmltree.Root || d.Name(n) == "a" {
+			if d.Name(n) == "a" {
+				want = 3
+			}
+		}
+		if v.Num != want {
+			t.Errorf("count(child::b) at %d = %v, want %v", n, v.Num, want)
+		}
+	}
+}
+
+// TestOnDemandSingleContext: evalSingleContext must fill tables lazily
+// for nodes never passed to evalByCnodeOnly.
+func TestOnDemandSingleContext(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b><c/></b></a>`)
+	ev := New(d)
+	st := newState(ev)
+	e := xpath.MustParse("count(child::*)")
+	// No prior evalByCnodeOnly for node b.
+	b := d.Children(d.DocumentElement())[0]
+	v, err := st.evalSingleContext(e, semantics.Context{Node: b, Pos: -1, Size: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Num != 1 {
+		t.Errorf("on-demand count = %v, want 1", v.Num)
+	}
+}
+
+// TestErrorPaths covers the error returns.
+func TestErrorPaths(t *testing.T) {
+	d := xmltree.MustParseString(`<a/>`)
+	ev := New(d)
+	if _, err := ev.Evaluate(&xpath.VarRef{Name: "v"}, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}); err == nil {
+		t.Error("unbound variable must error")
+	}
+}

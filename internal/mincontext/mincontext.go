@@ -1,0 +1,700 @@
+// Package mincontext implements the MinContext algorithm of Section 8
+// and Appendix A. It improves on the plain context-value-table engines
+// by combining three ideas:
+//
+//  1. Restriction to the relevant context (Section 8.2): the
+//     context-value table at each parse-tree node N only materializes
+//     the columns in Relev(N) ⊆ {cn, cp, cs}.
+//  2. Special treatment of outermost location paths: their intermediate
+//     results are node *sets* (⊆ dom) instead of relations (⊆ dom×2^dom).
+//  3. Position and size are handled in a loop: a predicate that depends
+//     on cp/cs is evaluated per candidate context on demand
+//     (eval_single_context) after its cp/cs-independent subtrees have
+//     been tabulated once (eval_by_cnode_only).
+//
+// The result is O(|D|²·|Q|²) space at O(|D|⁴·|Q|²) time (Theorem 8.6).
+//
+// The four procedures eval_outermost_locpath, eval_by_cnode_only,
+// eval_single_context and eval_inner_locpath follow the pseudocode of
+// Appendix A; the parse tree and per-node tables are carried in an
+// evaluation state.
+package mincontext
+
+import (
+	"fmt"
+
+	"repro/internal/evalutil"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Evaluator evaluates XPath queries with the MinContext algorithm.
+type Evaluator struct {
+	doc *xmltree.Document
+
+	// Hooks allows a fragment optimizer (OptMinContext, Section 11.2)
+	// to pre-evaluate subexpressions; see SetPrecomputed.
+	pre map[xpath.Expr]*boolTable
+}
+
+// boolTable is a precomputed dom → bool table for a subexpression,
+// installed by OptMinContext's bottom-up path evaluation.
+type boolTable struct {
+	vals []bool
+}
+
+// New returns a MinContext evaluator for the document.
+func New(d *xmltree.Document) *Evaluator { return &Evaluator{doc: d} }
+
+// SetPrecomputed installs a context-node → boolean table for a
+// subexpression; eval_by_cnode_only and eval_single_context consult it
+// instead of evaluating the subexpression ("subexpressions that have
+// already been evaluated bottom-up are not evaluated again", Algorithm
+// 11.1). The slice must be indexed by NodeID over the whole document.
+func (ev *Evaluator) SetPrecomputed(e xpath.Expr, vals []bool) {
+	if ev.pre == nil {
+		ev.pre = map[xpath.Expr]*boolTable{}
+	}
+	ev.pre[e] = &boolTable{vals: vals}
+}
+
+// Evaluate implements Algorithm 8.5 (MinContext): location paths go
+// through eval_outermost_locpath; any other query is tabulated by
+// eval_by_cnode_only and then read off with eval_single_context.
+func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	st := newState(ev)
+	if isLocationPath(e) {
+		s, err := st.evalOutermostLocpath(e, xmltree.NodeSet{c.Node})
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.NodeSet(s), nil
+	}
+	if err := st.evalByCnodeOnly(e, xmltree.NodeSet{c.Node}); err != nil {
+		return semantics.Value{}, err
+	}
+	return st.evalSingleContext(e, c)
+}
+
+// isLocationPath reports whether the query is a location path in the
+// paper's sense: a Path or a union of location paths.
+func isLocationPath(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Path:
+		return true
+	case *xpath.Binary:
+		return x.Op == xpath.OpUnion && isLocationPath(x.Left) && isLocationPath(x.Right)
+	default:
+		return false
+	}
+}
+
+// ctxKey and table mirror the relevant-context projection of Section 8.2.
+type ctxKey struct {
+	node      xmltree.NodeID
+	pos, size int32
+}
+
+type table struct {
+	relev xpath.Relev
+	vals  map[ctxKey]semantics.Value
+}
+
+func (t *table) key(c semantics.Context) ctxKey {
+	k := ctxKey{node: xmltree.NilNode, pos: -1, size: -1}
+	if t.relev.Has(xpath.RelevNode) {
+		k.node = c.Node
+	}
+	if t.relev.Has(xpath.RelevPos) {
+		k.pos = int32(c.Pos)
+	}
+	if t.relev.Has(xpath.RelevSize) {
+		k.size = int32(c.Size)
+	}
+	return k
+}
+
+// state is the per-query evaluation state: Relev per node, the
+// context-value tables, the inner-location-path relations, and the set
+// of context nodes each table already covers.
+type state struct {
+	ev  *Evaluator
+	doc *xmltree.Document
+
+	relev   map[xpath.Expr]xpath.Relev
+	tables  map[xpath.Expr]*table
+	rels    map[xpath.Expr]map[xmltree.NodeID]xmltree.NodeSet
+	covered map[xpath.Expr]map[xmltree.NodeID]bool
+}
+
+func newState(ev *Evaluator) *state {
+	return &state{
+		ev:      ev,
+		doc:     ev.doc,
+		relev:   map[xpath.Expr]xpath.Relev{},
+		tables:  map[xpath.Expr]*table{},
+		rels:    map[xpath.Expr]map[xmltree.NodeID]xmltree.NodeSet{},
+		covered: map[xpath.Expr]map[xmltree.NodeID]bool{},
+	}
+}
+
+func (st *state) relevOf(e xpath.Expr) xpath.Relev {
+	r, ok := st.relev[e]
+	if !ok {
+		r = xpath.RelevantContext(e)
+		st.relev[e] = r
+	}
+	return r
+}
+
+// uncovered returns the subset of X not yet covered for e and marks it
+// covered. For context-insensitive expressions (Relev(N) ∩ {cn} = ∅) a
+// single sentinel represents all contexts.
+func (st *state) uncovered(e xpath.Expr, x xmltree.NodeSet) xmltree.NodeSet {
+	cov := st.covered[e]
+	if cov == nil {
+		cov = map[xmltree.NodeID]bool{}
+		st.covered[e] = cov
+	}
+	if !st.relevOf(e).Has(xpath.RelevNode) {
+		if cov[xmltree.NilNode] {
+			return nil
+		}
+		cov[xmltree.NilNode] = true
+		return x
+	}
+	var todo xmltree.NodeSet
+	for _, n := range x {
+		if !cov[n] {
+			cov[n] = true
+			todo = append(todo, n)
+		}
+	}
+	return todo
+}
+
+// ------------------------------------------------------------------
+// eval_outermost_locpath
+// ------------------------------------------------------------------
+
+// evalOutermostLocpath evaluates a location path treating intermediate
+// results as node sets ⊆ dom (Section 8.2, "special treatment of
+// location paths on the outermost level").
+func (st *state) evalOutermostLocpath(e xpath.Expr, x xmltree.NodeSet) (xmltree.NodeSet, error) {
+	switch p := e.(type) {
+	case *xpath.Binary: // π1 | π2
+		y1, err := st.evalOutermostLocpath(p.Left, x)
+		if err != nil {
+			return nil, err
+		}
+		y2, err := st.evalOutermostLocpath(p.Right, x)
+		if err != nil {
+			return nil, err
+		}
+		return y1.Union(y2), nil
+	case *xpath.Path:
+		cur := x
+		switch {
+		case p.Filter != nil:
+			// Head expressions (id('c'), (π)[1], …) are evaluated via
+			// the table machinery per context node, then flattened.
+			if err := st.evalByCnodeOnly(p.Filter, x); err != nil {
+				return nil, err
+			}
+			var u xmltree.NodeSet
+			for _, n := range x {
+				v, err := st.evalSingleContext(p.Filter, semantics.Context{Node: n, Pos: -1, Size: -1})
+				if err != nil {
+					return nil, err
+				}
+				if v.Kind != xpath.TypeNodeSet {
+					return nil, fmt.Errorf("mincontext: path head is not a node set")
+				}
+				u = u.Union(v.Set)
+			}
+			cur = u
+		case p.Absolute:
+			cur = xmltree.NodeSet{st.doc.RootID()}
+		}
+		for _, step := range p.Steps {
+			next, err := st.evalOutermostStep(step, cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+		return cur, nil
+	default:
+		return nil, fmt.Errorf("mincontext: not a location path: %T", e)
+	}
+}
+
+// evalOutermostStep applies one location step to a node set, following
+// the eval_outermost_locpath pseudocode: when no predicate depends on
+// cp/cs the candidates are filtered set-at-a-time; otherwise the
+// predicates run in a loop over previous/current context-node pairs.
+func (st *state) evalOutermostStep(step *xpath.Step, x xmltree.NodeSet) (xmltree.NodeSet, error) {
+	y := evalutil.StepCandidatesSet(st.doc, step.Axis, step.Test, x)
+	if len(step.Preds) == 0 || len(y) == 0 {
+		return y, nil
+	}
+	for _, pred := range step.Preds {
+		if err := st.evalByCnodeOnly(pred, y); err != nil {
+			return nil, err
+		}
+	}
+	if !st.stepNeedsPositions(step) {
+		var r xmltree.NodeSet
+		for _, n := range y {
+			ok := true
+			for _, pred := range step.Preds {
+				v, err := st.evalSingleContext(pred, semantics.Context{Node: n, Pos: -1, Size: -1})
+				if err != nil {
+					return nil, err
+				}
+				if !semantics.ToBoolean(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				r = append(r, n)
+			}
+		}
+		return r, nil
+	}
+	// Some predicate depends on cp or cs: loop over pairs ⟨x, z⟩.
+	var r xmltree.NodeSet
+	for _, xn := range x {
+		z := axesFilter(st.doc, step, xn, y)
+		for _, pred := range step.Preds {
+			ordered := evalutil.AxisOrdered(step.Axis, z)
+			var keep []xmltree.NodeID
+			for j, zn := range ordered {
+				v, err := st.evalSingleContext(pred, semantics.Context{Node: zn, Pos: j + 1, Size: len(ordered)})
+				if err != nil {
+					return nil, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, zn)
+				}
+			}
+			z = xmltree.NewNodeSet(keep...)
+		}
+		r = r.Union(z)
+	}
+	return r, nil
+}
+
+// axesFilter computes Z = {z ∈ Y | x χ z} for one previous context node.
+func axesFilter(d *xmltree.Document, step *xpath.Step, x xmltree.NodeID, y xmltree.NodeSet) xmltree.NodeSet {
+	img := evalutil.StepCandidates(d, step.Axis, step.Test, x)
+	return img.Intersect(y)
+}
+
+func (st *state) stepNeedsPositions(step *xpath.Step) bool {
+	for _, pred := range step.Preds {
+		if st.relevOf(pred)&(xpath.RelevPos|xpath.RelevSize) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------------------
+// eval_by_cnode_only
+// ------------------------------------------------------------------
+
+// evalByCnodeOnly fills table(M) for every node M in the subtree rooted
+// at e whose expression does not depend on the current context position
+// or size, for all context nodes in X.
+func (st *state) evalByCnodeOnly(e xpath.Expr, x xmltree.NodeSet) error {
+	if bt, ok := st.ev.pre[e]; ok {
+		// OptMinContext already computed this subexpression bottom-up;
+		// materialize its rows lazily through the lookup path.
+		_ = bt
+		return nil
+	}
+	r := st.relevOf(e)
+	if r&(xpath.RelevPos|xpath.RelevSize) != 0 {
+		// Position/size-dependent: recurse so the cp/cs-independent
+		// parts below are tabulated; this node itself is evaluated
+		// later, per single context.
+		for _, child := range children(e) {
+			if err := st.evalByCnodeOnly(child, x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p, ok := e.(*xpath.Path); ok {
+		todo := st.uncovered(e, x)
+		if len(todo) == 0 {
+			return nil
+		}
+		rel, err := st.evalInnerLocpath(p, todo)
+		if err != nil {
+			return err
+		}
+		m := st.rels[e]
+		if m == nil {
+			m = map[xmltree.NodeID]xmltree.NodeSet{}
+			st.rels[e] = m
+		}
+		for k, v := range rel {
+			m[k] = v
+		}
+		return nil
+	}
+	if fe, ok := e.(*xpath.FilterExpr); ok {
+		return st.evalFilterByCnode(fe, x)
+	}
+	// Other compound (or leaf) expression: tabulate children first,
+	// then this node for every context in X.
+	todo := st.uncovered(e, x)
+	if len(todo) == 0 {
+		return nil
+	}
+	for _, child := range children(e) {
+		if err := st.evalByCnodeOnly(child, todo); err != nil {
+			return err
+		}
+	}
+	t := st.tables[e]
+	if t == nil {
+		t = &table{relev: r, vals: map[ctxKey]semantics.Value{}}
+		st.tables[e] = t
+	}
+	if !r.Has(xpath.RelevNode) {
+		c := semantics.Context{Node: xmltree.NilNode, Pos: -1, Size: -1}
+		v, err := st.apply(e, c)
+		if err != nil {
+			return err
+		}
+		t.vals[t.key(c)] = v
+		return nil
+	}
+	for _, n := range todo {
+		c := semantics.Context{Node: n, Pos: -1, Size: -1}
+		v, err := st.apply(e, c)
+		if err != nil {
+			return err
+		}
+		t.vals[t.key(c)] = v
+	}
+	return nil
+}
+
+// evalFilterByCnode tabulates a filter expression (primary plus
+// document-order predicates) per context node.
+func (st *state) evalFilterByCnode(fe *xpath.FilterExpr, x xmltree.NodeSet) error {
+	todo := st.uncovered(fe, x)
+	if len(todo) == 0 {
+		return nil
+	}
+	if err := st.evalByCnodeOnly(fe.Primary, todo); err != nil {
+		return err
+	}
+	t := st.tables[fe]
+	if t == nil {
+		t = &table{relev: st.relevOf(fe), vals: map[ctxKey]semantics.Value{}}
+		st.tables[fe] = t
+	}
+	ctxNodes := todo
+	if !t.relev.Has(xpath.RelevNode) {
+		ctxNodes = xmltree.NodeSet{xmltree.NilNode}
+	}
+	for _, n := range ctxNodes {
+		c := semantics.Context{Node: n, Pos: -1, Size: -1}
+		pv, err := st.evalSingleContext(fe.Primary, c)
+		if err != nil {
+			return err
+		}
+		if pv.Kind != xpath.TypeNodeSet {
+			return fmt.Errorf("mincontext: predicates on %v", pv.Kind)
+		}
+		s := pv.Set
+		for _, pred := range fe.Preds {
+			if err := st.evalByCnodeOnly(pred, s); err != nil {
+				return err
+			}
+			var keep []xmltree.NodeID
+			for i, yn := range s {
+				v, err := st.evalSingleContext(pred, semantics.Context{Node: yn, Pos: i + 1, Size: len(s)})
+				if err != nil {
+					return err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, yn)
+				}
+			}
+			s = xmltree.NewNodeSet(keep...)
+		}
+		t.vals[t.key(c)] = semantics.NodeSet(s)
+	}
+	return nil
+}
+
+// apply computes the value of a cp/cs-independent expression at one
+// context from its children's tables.
+func (st *state) apply(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	switch x := e.(type) {
+	case *xpath.Number:
+		return semantics.Number(x.Val), nil
+	case *xpath.Literal:
+		return semantics.String(x.Val), nil
+	case *xpath.VarRef:
+		return semantics.Value{}, fmt.Errorf("mincontext: unbound variable $%s", x.Name)
+	case *xpath.Negate:
+		v, err := st.evalSingleContext(x.X, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.Number(-semantics.ToNumber(st.doc, v)), nil
+	case *xpath.Binary:
+		l, err := st.evalSingleContext(x.Left, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		r, err := st.evalSingleContext(x.Right, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return applyBinary(st.doc, x.Op, l, r)
+	case *xpath.Call:
+		args := make([]semantics.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := st.evalSingleContext(a, c)
+			if err != nil {
+				return semantics.Value{}, err
+			}
+			args[i] = v
+		}
+		return semantics.CallFunction(st.doc, x.Name, c, args)
+	default:
+		return semantics.Value{}, fmt.Errorf("mincontext: apply on %T", e)
+	}
+}
+
+func applyBinary(d *xmltree.Document, op xpath.BinOp, l, r semantics.Value) (semantics.Value, error) {
+	switch {
+	case op == xpath.OpAnd:
+		return semantics.Boolean(semantics.ToBoolean(l) && semantics.ToBoolean(r)), nil
+	case op == xpath.OpOr:
+		return semantics.Boolean(semantics.ToBoolean(l) || semantics.ToBoolean(r)), nil
+	case op == xpath.OpUnion:
+		if l.Kind != xpath.TypeNodeSet || r.Kind != xpath.TypeNodeSet {
+			return semantics.Value{}, fmt.Errorf("mincontext: | on non-node-sets")
+		}
+		return semantics.NodeSet(l.Set.Union(r.Set)), nil
+	case op.IsRelOp():
+		return semantics.Boolean(semantics.Compare(d, op, l, r)), nil
+	case op.IsArith():
+		return semantics.Number(semantics.Arith(op, semantics.ToNumber(d, l), semantics.ToNumber(d, r))), nil
+	default:
+		return semantics.Value{}, fmt.Errorf("mincontext: unknown operator %v", op)
+	}
+}
+
+// ------------------------------------------------------------------
+// eval_single_context
+// ------------------------------------------------------------------
+
+// evalSingleContext returns the value of e for one context ⟨x, p, s⟩.
+// cp/cs-independent nodes are looked up in their tables (which
+// eval_by_cnode_only must have filled); dependent nodes recurse.
+func (st *state) evalSingleContext(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	if bt, ok := st.ev.pre[e]; ok {
+		n := c.Node
+		if n < 0 {
+			// The caller tabulates under the context-free sentinel,
+			// which only happens when this subexpression is itself
+			// context independent — its table is uniform, so any row
+			// serves.
+			n = 0
+		}
+		return semantics.Boolean(bt.vals[n]), nil
+	}
+	r := st.relevOf(e)
+	if r&(xpath.RelevPos|xpath.RelevSize) == 0 {
+		if p, ok := e.(*xpath.Path); ok {
+			m := st.rels[e]
+			lookupNode := c.Node
+			if !r.Has(xpath.RelevNode) {
+				// Absolute path: any covered row serves; rows are
+				// stored under the context nodes they were requested
+				// for.
+				if s, ok2 := m[c.Node]; ok2 {
+					return semantics.NodeSet(s), nil
+				}
+				for _, s := range m {
+					return semantics.NodeSet(s), nil
+				}
+			}
+			if s, ok2 := m[lookupNode]; ok2 {
+				return semantics.NodeSet(s), nil
+			}
+			// Not covered yet (can happen when a caller asks for a
+			// fresh context); evaluate on demand.
+			rel, err := st.evalInnerLocpath(p, xmltree.NodeSet{c.Node})
+			if err != nil {
+				return semantics.Value{}, err
+			}
+			if m == nil {
+				m = map[xmltree.NodeID]xmltree.NodeSet{}
+				st.rels[e] = m
+			}
+			for k, v := range rel {
+				m[k] = v
+			}
+			return semantics.NodeSet(m[c.Node]), nil
+		}
+		if t, ok := st.tables[e]; ok {
+			if v, ok2 := t.vals[t.key(c)]; ok2 {
+				return v, nil
+			}
+		}
+		// Fill on demand for this node.
+		if err := st.evalByCnodeOnly(e, xmltree.NodeSet{c.Node}); err != nil {
+			return semantics.Value{}, err
+		}
+		if t, ok := st.tables[e]; ok {
+			if v, ok2 := t.vals[t.key(c)]; ok2 {
+				return v, nil
+			}
+		}
+		return semantics.Value{}, fmt.Errorf("mincontext: table for %s missing context node %d", e, c.Node)
+	}
+	// Position/size-dependent: recurse (position() and last() resolve
+	// through CallFunction with the supplied context).
+	return st.apply(e, c)
+}
+
+// ------------------------------------------------------------------
+// eval_inner_locpath
+// ------------------------------------------------------------------
+
+// evalInnerLocpath computes the relation {⟨x, y⟩ | x ∈ X, y reachable
+// from x via the path} as a map x → set.
+func (st *state) evalInnerLocpath(p *xpath.Path, x xmltree.NodeSet) (map[xmltree.NodeID]xmltree.NodeSet, error) {
+	// Starting relation R0.
+	cur := make(map[xmltree.NodeID]xmltree.NodeSet, len(x))
+	switch {
+	case p.Filter != nil:
+		if err := st.evalByCnodeOnly(p.Filter, x); err != nil {
+			return nil, err
+		}
+		for _, n := range x {
+			v, err := st.evalSingleContext(p.Filter, semantics.Context{Node: n, Pos: -1, Size: -1})
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != xpath.TypeNodeSet {
+				return nil, fmt.Errorf("mincontext: path head is not a node set")
+			}
+			cur[n] = v.Set
+		}
+	case p.Absolute:
+		for _, n := range x {
+			cur[n] = xmltree.NodeSet{st.doc.RootID()}
+		}
+	default:
+		for _, n := range x {
+			cur[n] = xmltree.NodeSet{n}
+		}
+	}
+	for _, step := range p.Steps {
+		// Image of the current relation.
+		var img xmltree.NodeSet
+		for _, s := range cur {
+			img = img.Union(s)
+		}
+		rel, err := st.evalInnerStep(step, img)
+		if err != nil {
+			return nil, err
+		}
+		next := make(map[xmltree.NodeID]xmltree.NodeSet, len(cur))
+		for x0, ys := range cur {
+			var u xmltree.NodeSet
+			for _, y := range ys {
+				u = u.Union(rel[y])
+			}
+			next[x0] = u
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// evalInnerStep computes the one-step relation {⟨x, z⟩ | x ∈ X, x χ z, z
+// ∈ T(t), predicates hold} grouped by x, with the same
+// cp/cs-independent fast path as the outermost variant.
+func (st *state) evalInnerStep(step *xpath.Step, x xmltree.NodeSet) (map[xmltree.NodeID]xmltree.NodeSet, error) {
+	rel := make(map[xmltree.NodeID]xmltree.NodeSet, len(x))
+	y := evalutil.StepCandidatesSet(st.doc, step.Axis, step.Test, x)
+	for _, pred := range step.Preds {
+		if err := st.evalByCnodeOnly(pred, y); err != nil {
+			return nil, err
+		}
+	}
+	if !st.stepNeedsPositions(step) {
+		// Filter candidates once, then intersect per x.
+		yKeep := y
+		for _, pred := range step.Preds {
+			var keep []xmltree.NodeID
+			for _, n := range yKeep {
+				v, err := st.evalSingleContext(pred, semantics.Context{Node: n, Pos: -1, Size: -1})
+				if err != nil {
+					return nil, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, n)
+				}
+			}
+			yKeep = xmltree.NewNodeSet(keep...)
+		}
+		for _, xn := range x {
+			img := evalutil.StepCandidates(st.doc, step.Axis, step.Test, xn)
+			rel[xn] = img.Intersect(yKeep)
+		}
+		return rel, nil
+	}
+	for _, xn := range x {
+		z := evalutil.StepCandidates(st.doc, step.Axis, step.Test, xn)
+		for _, pred := range step.Preds {
+			ordered := evalutil.AxisOrdered(step.Axis, z)
+			var keep []xmltree.NodeID
+			for j, zn := range ordered {
+				v, err := st.evalSingleContext(pred, semantics.Context{Node: zn, Pos: j + 1, Size: len(ordered)})
+				if err != nil {
+					return nil, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, zn)
+				}
+			}
+			z = xmltree.NewNodeSet(keep...)
+		}
+		rel[xn] = z
+	}
+	return rel, nil
+}
+
+// children returns the direct subexpressions of e (predicates included
+// for filter expressions; a path's pieces are handled by the inner-path
+// machinery, so paths report no children here).
+func children(e xpath.Expr) []xpath.Expr {
+	switch x := e.(type) {
+	case *xpath.Negate:
+		return []xpath.Expr{x.X}
+	case *xpath.Binary:
+		return []xpath.Expr{x.Left, x.Right}
+	case *xpath.Call:
+		return x.Args
+	case *xpath.FilterExpr:
+		return append([]xpath.Expr{x.Primary}, x.Preds...)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,354 @@
+// Package naive implements the denotational semantics of XPath
+// (Definition 5.1, Figure 5 and Table II) by direct recursive descent —
+// the strategy the paper attributes to XALAN, XT, Saxon and IE6
+// (Sections 2 and 9.2). It re-evaluates every subexpression for every
+// context it is asked about, so its worst-case running time is
+// exponential in the size of the query (the |D|^|Q| recurrence of
+// Section 2). That explosion is the *point* of this engine: it is the
+// baseline every experiment in the paper measures against.
+//
+// The same evaluator becomes polynomial when a data pool (Algorithm 9.1)
+// is plugged in: before evaluating (e, c) it consults the pool, and
+// after evaluating it stores the result. See package datapool.
+package naive
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/evalutil"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// ErrBudget is returned when evaluation exceeds the configured step
+// budget. Exponential runs are expected with this engine; the budget
+// turns "hangs for hours" into a reportable condition in tests and
+// benchmarks.
+var ErrBudget = errors.New("naive: step budget exhausted")
+
+// Pool is the data-pool interface of Algorithm 9.1: a retrieval and a
+// storage procedure for (expression, context) → value triples. The naive
+// evaluator calls Lookup before and Store after every expression
+// evaluation. A nil Pool reproduces the classic exponential behaviour.
+type Pool interface {
+	Lookup(e xpath.Expr, c semantics.Context) (semantics.Value, bool)
+	Store(e xpath.Expr, c semantics.Context, v semantics.Value)
+}
+
+// Evaluator evaluates XPath queries over one document.
+type Evaluator struct {
+	doc  *xmltree.Document
+	pool Pool
+
+	// suffixes caches synthetic Path expressions standing for the step
+	// suffixes of a path, so that a data pool can memoize P[[π]](x) per
+	// remaining-steps list exactly as Section 9.2 prescribes ("before
+	// an evaluation function corresponding to P[[·]] is called with
+	// some input (π, x), we first check whether some triple already
+	// exists in the data pool").
+	suffixes map[suffixKey]xpath.Expr
+
+	// Budget bounds the number of elementary evaluation steps (location
+	// step applications and function evaluations); 0 means unlimited.
+	Budget int64
+	steps  int64
+}
+
+type suffixKey struct {
+	path *xpath.Path
+	idx  int
+}
+
+func (ev *Evaluator) suffixExpr(p *xpath.Path, idx int) xpath.Expr {
+	if ev.suffixes == nil {
+		ev.suffixes = map[suffixKey]xpath.Expr{}
+	}
+	k := suffixKey{p, idx}
+	if e, ok := ev.suffixes[k]; ok {
+		return e
+	}
+	e := &xpath.Path{Steps: p.Steps[idx:]}
+	ev.suffixes[k] = e
+	return e
+}
+
+// New returns a classic (exponential-time) evaluator for the document.
+func New(d *xmltree.Document) *Evaluator { return &Evaluator{doc: d} }
+
+// NewWithPool returns an evaluator that memoizes through the given data
+// pool, which makes it polynomial-time (Theorem 9.2).
+func NewWithPool(d *xmltree.Document, p Pool) *Evaluator {
+	return &Evaluator{doc: d, pool: p}
+}
+
+// Steps reports the number of elementary evaluation steps performed
+// since construction. Experiments use it as a machine-independent cost
+// measure.
+func (ev *Evaluator) Steps() int64 { return ev.steps }
+
+// Evaluate computes [[e]](c) per Definition 5.1.
+func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.steps = 0
+	return ev.eval(e, c)
+}
+
+func (ev *Evaluator) bill() error {
+	ev.steps++
+	if ev.Budget > 0 && ev.steps > ev.Budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// eval is the direct functional implementation of [[·]]. With a pool it
+// is atomic-evaluation-CVT of Algorithm 9.1; without one it is
+// atomic-evaluation.
+func (ev *Evaluator) eval(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	if ev.pool != nil {
+		if v, ok := ev.pool.Lookup(e, c); ok {
+			return v, nil
+		}
+	}
+	v, err := ev.evalUncached(e, c)
+	if err != nil {
+		return semantics.Value{}, err
+	}
+	if ev.pool != nil {
+		ev.pool.Store(e, c, v)
+	}
+	return v, nil
+}
+
+func (ev *Evaluator) evalUncached(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	if err := ev.bill(); err != nil {
+		return semantics.Value{}, err
+	}
+	switch x := e.(type) {
+	case *xpath.Number:
+		return semantics.Number(x.Val), nil
+	case *xpath.Literal:
+		return semantics.String(x.Val), nil
+	case *xpath.VarRef:
+		return semantics.Value{}, fmt.Errorf("naive: unbound variable $%s (substitute before evaluation)", x.Name)
+	case *xpath.Negate:
+		v, err := ev.eval(x.X, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.Number(-semantics.ToNumber(ev.doc, v)), nil
+	case *xpath.Binary:
+		return ev.evalBinary(x, c)
+	case *xpath.Call:
+		return ev.evalCall(x, c)
+	case *xpath.FilterExpr:
+		s, err := ev.evalFilterExpr(x, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.NodeSet(s), nil
+	case *xpath.Path:
+		s, err := ev.evalPath(x, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.NodeSet(s), nil
+	default:
+		return semantics.Value{}, fmt.Errorf("naive: unknown expression %T", e)
+	}
+}
+
+func (ev *Evaluator) evalBinary(b *xpath.Binary, c semantics.Context) (semantics.Value, error) {
+	// and/or use the short-circuit the W3C prescribes.
+	switch b.Op {
+	case xpath.OpAnd:
+		l, err := ev.eval(b.Left, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		if !semantics.ToBoolean(l) {
+			return semantics.Boolean(false), nil
+		}
+		r, err := ev.eval(b.Right, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.Boolean(semantics.ToBoolean(r)), nil
+	case xpath.OpOr:
+		l, err := ev.eval(b.Left, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		if semantics.ToBoolean(l) {
+			return semantics.Boolean(true), nil
+		}
+		r, err := ev.eval(b.Right, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.Boolean(semantics.ToBoolean(r)), nil
+	}
+	l, err := ev.eval(b.Left, c)
+	if err != nil {
+		return semantics.Value{}, err
+	}
+	r, err := ev.eval(b.Right, c)
+	if err != nil {
+		return semantics.Value{}, err
+	}
+	switch {
+	case b.Op == xpath.OpUnion:
+		if l.Kind != xpath.TypeNodeSet || r.Kind != xpath.TypeNodeSet {
+			return semantics.Value{}, fmt.Errorf("naive: | on non-node-sets")
+		}
+		return semantics.NodeSet(l.Set.Union(r.Set)), nil
+	case b.Op.IsRelOp():
+		return semantics.Boolean(semantics.Compare(ev.doc, b.Op, l, r)), nil
+	case b.Op.IsArith():
+		return semantics.Number(semantics.Arith(b.Op,
+			semantics.ToNumber(ev.doc, l), semantics.ToNumber(ev.doc, r))), nil
+	default:
+		return semantics.Value{}, fmt.Errorf("naive: unknown operator %v", b.Op)
+	}
+}
+
+func (ev *Evaluator) evalCall(call *xpath.Call, c semantics.Context) (semantics.Value, error) {
+	args := make([]semantics.Value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := ev.eval(a, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		args[i] = v
+	}
+	return semantics.CallFunction(ev.doc, call.Name, c, args)
+}
+
+// evalFilterExpr evaluates a primary expression and filters it with
+// predicates; positions are taken in document order (forward).
+func (ev *Evaluator) evalFilterExpr(f *xpath.FilterExpr, c semantics.Context) (xmltree.NodeSet, error) {
+	prim, err := ev.eval(f.Primary, c)
+	if err != nil {
+		return nil, err
+	}
+	if prim.Kind != xpath.TypeNodeSet {
+		return nil, fmt.Errorf("naive: predicates on non-node-set %v", prim.Kind)
+	}
+	s := prim.Set
+	for _, pred := range f.Preds {
+		s, err = ev.filterForward(s, pred)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (ev *Evaluator) filterForward(s xmltree.NodeSet, pred xpath.Expr) (xmltree.NodeSet, error) {
+	var out xmltree.NodeSet
+	for i, y := range s {
+		v, err := ev.eval(pred, semantics.Context{Node: y, Pos: i + 1, Size: len(s)})
+		if err != nil {
+			return nil, err
+		}
+		if semantics.ToBoolean(v) {
+			out = append(out, y)
+		}
+	}
+	return out, nil
+}
+
+// evalPath implements P[[π]] of Figure 5 with the recursive
+// process-location-step strategy of Section 2: each remaining-step list
+// is re-evaluated for every node produced by the step before it. This
+// recursion is the engineered source of exponential behaviour.
+func (ev *Evaluator) evalPath(p *xpath.Path, c semantics.Context) (xmltree.NodeSet, error) {
+	var start xmltree.NodeSet
+	switch {
+	case p.Filter != nil:
+		v, err := ev.eval(p.Filter, c)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind != xpath.TypeNodeSet {
+			return nil, fmt.Errorf("naive: path head is not a node set")
+		}
+		start = v.Set
+	case p.Absolute:
+		start = xmltree.NodeSet{ev.doc.RootID()}
+	default:
+		start = xmltree.NodeSet{c.Node}
+	}
+	if len(p.Steps) == 0 {
+		return start, nil
+	}
+	var out xmltree.NodeSet
+	for _, x := range start {
+		s, err := ev.stepsFrom(p, 0, x)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Union(s)
+	}
+	return out, nil
+}
+
+// stepsFrom evaluates the step suffix p.Steps[idx:] from node x,
+// consulting the data pool (if any) under a synthetic suffix-path key.
+func (ev *Evaluator) stepsFrom(p *xpath.Path, idx int, x xmltree.NodeID) (xmltree.NodeSet, error) {
+	if ev.pool == nil {
+		return ev.processLocationStep(p, idx, x)
+	}
+	key := ev.suffixExpr(p, idx)
+	c := semantics.Context{Node: x, Pos: 1, Size: 1}
+	if v, ok := ev.pool.Lookup(key, c); ok {
+		return v.Set, nil
+	}
+	s, err := ev.processLocationStep(p, idx, x)
+	if err != nil {
+		return nil, err
+	}
+	ev.pool.Store(key, c, semantics.NodeSet(s))
+	return s, nil
+}
+
+// processLocationStep is the pseudocode procedure of Section 2:
+//
+//	node set S := apply Q.head to node n0;
+//	if Q.tail is not empty then
+//	    for each node n ∈ S do process-location-step(n, Q.tail)
+func (ev *Evaluator) processLocationStep(p *xpath.Path, idx int, x xmltree.NodeID) (xmltree.NodeSet, error) {
+	if err := ev.bill(); err != nil {
+		return nil, err
+	}
+	step := p.Steps[idx]
+	s := evalutil.StepCandidates(ev.doc, step.Axis, step.Test, x)
+	// Predicates in ascending order over <doc,χ positions (Figure 5).
+	for _, pred := range step.Preds {
+		ordered := evalutil.AxisOrdered(step.Axis, s)
+		var keep xmltree.NodeSet
+		for i, y := range ordered {
+			v, err := ev.eval(pred, semantics.Context{Node: y, Pos: i + 1, Size: len(ordered)})
+			if err != nil {
+				return nil, err
+			}
+			if semantics.ToBoolean(v) {
+				keep = append(keep, y)
+			}
+		}
+		s = xmltree.NewNodeSet(keep...)
+	}
+	if idx == len(p.Steps)-1 {
+		return s, nil
+	}
+	var out xmltree.NodeSet
+	for _, n := range s {
+		sub, err := ev.stepsFrom(p, idx+1, n)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Union(sub)
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package naive
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func ctxAt(n xmltree.NodeID) semantics.Context {
+	return semantics.Context{Node: n, Pos: 1, Size: 1}
+}
+
+// TestExponentialRecurrence verifies the Time(|Q|) = |D|^|Q| recurrence
+// of Section 2 on the Experiment-1 query family over DOC(2): each
+// appended parent::a/b must roughly double the work.
+func TestExponentialRecurrence(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b/><b/></a>`)
+	steps := func(k int) int64 {
+		q := "//a/b"
+		for i := 0; i < k; i++ {
+			q += "/parent::a/b"
+		}
+		ev := New(d)
+		if _, err := ev.Evaluate(xpath.MustParse(q), ctxAt(d.RootID())); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Steps()
+	}
+	prev := steps(4)
+	for k := 5; k <= 9; k++ {
+		cur := steps(k)
+		ratio := float64(cur) / float64(prev)
+		if ratio < 1.7 || ratio > 2.5 {
+			t.Errorf("step ratio k=%d: %.2f, want ≈2 (doubling)", k, ratio)
+		}
+		prev = cur
+	}
+}
+
+func TestBudgetError(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b/><b/></a>`)
+	ev := New(d)
+	ev.Budget = 100
+	q := "//a/b"
+	for i := 0; i < 20; i++ {
+		q += "/parent::a/b"
+	}
+	_, err := ev.Evaluate(xpath.MustParse(q), ctxAt(d.RootID()))
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestStepsResetPerEvaluate(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b/></a>`)
+	ev := New(d)
+	if _, err := ev.Evaluate(xpath.MustParse("//b"), ctxAt(d.RootID())); err != nil {
+		t.Fatal(err)
+	}
+	first := ev.Steps()
+	if _, err := ev.Evaluate(xpath.MustParse("//b"), ctxAt(d.RootID())); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Steps() != first {
+		t.Errorf("steps not reset: %d then %d", first, ev.Steps())
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b/></a>`)
+	// or short-circuits: right side would be expensive.
+	ev := New(d)
+	q := "true() or count(//b/ancestor::*//b/ancestor::*//b) > 0"
+	v, err := ev.Evaluate(xpath.MustParse(q), ctxAt(d.RootID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bool {
+		t.Error("or result wrong")
+	}
+	shortSteps := ev.Steps()
+	// Same query with false() left side must do more work.
+	ev2 := New(d)
+	q2 := "false() or count(//b/ancestor::*//b/ancestor::*//b) > 0"
+	if _, err := ev2.Evaluate(xpath.MustParse(q2), ctxAt(d.RootID())); err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Steps() <= shortSteps {
+		t.Errorf("short circuit did not save work: %d vs %d", shortSteps, ev2.Steps())
+	}
+}
+
+func TestAbbreviatedEquivalence(t *testing.T) {
+	// //a/b and its unabbreviated form must agree.
+	d := xmltree.MustParseString(`<a><b/><b/><c><b/></c></a>`)
+	ev := New(d)
+	v1, err := ev.Evaluate(xpath.MustParse("//b"), ctxAt(d.RootID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ev.Evaluate(xpath.MustParse("/descendant-or-self::node()/child::b"), ctxAt(d.RootID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Set.Equal(v2.Set) {
+		t.Errorf("//b = %v, unabbreviated = %v", v1.Set, v2.Set)
+	}
+}

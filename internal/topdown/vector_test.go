@@ -1,0 +1,110 @@
+package topdown
+
+import (
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/semantics"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestVectorizedOperators exercises Op⟨⟩ for every operator class over
+// multi-context vectors.
+func TestVectorizedOperators(t *testing.T) {
+	d := xmltree.MustParseString(`<a><b>1</b><b>2</b><b>3</b></a>`)
+	ev := New(d)
+	kids := d.Children(d.DocumentElement())
+	var ctxs []semantics.Context
+	for i, k := range kids {
+		ctxs = append(ctxs, semantics.Context{Node: k, Pos: i + 1, Size: len(kids)})
+	}
+	cases := map[string][]float64{
+		"position() + last()":        {4, 5, 6},
+		"position() * 2":             {2, 4, 6},
+		"number(string(.))":          {1, 2, 3},
+		"position() mod 2":           {1, 0, 1},
+		"-position()":                {-1, -2, -3},
+		"count(self::b) + number(.)": {2, 3, 4},
+	}
+	for q, want := range cases {
+		vs, err := ev.evalVector(xpath.MustParse(q), ctxs)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for i := range want {
+			if vs[i].Num != want[i] {
+				t.Errorf("%s at slot %d = %v, want %v", q, i, vs[i].Num, want[i])
+			}
+		}
+	}
+	// Boolean and comparison vectors.
+	bq := "position() != last() and . > 0"
+	vs, err := ev.evalVector(xpath.MustParse(bq), ctxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := []bool{true, true, false}
+	for i := range wantB {
+		if vs[i].Bool != wantB[i] {
+			t.Errorf("%s at %d = %v, want %v", bq, i, vs[i].Bool, wantB[i])
+		}
+	}
+	// Union vectors.
+	vs, err = ev.evalVector(xpath.MustParse("self::b | following-sibling::b"), ctxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs[0].Set) != 3 || len(vs[2].Set) != 1 {
+		t.Errorf("union vector sizes: %d, %d", len(vs[0].Set), len(vs[2].Set))
+	}
+}
+
+// TestDeepNestingPolynomial: the Experiment 2 family at |Q| = 50 must
+// complete quickly even on a larger document — the Table VII headline.
+func TestDeepNestingPolynomial(t *testing.T) {
+	d := workload.DocPrime(100)
+	ev := New(d)
+	e := xpath.MustParse(workload.Exp2Query(50))
+	v, err := ev.Evaluate(e, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 100 b elements satisfy the nested condition (their text is c).
+	if len(v.Set) != 100 {
+		t.Errorf("result = %d nodes, want 100", len(v.Set))
+	}
+}
+
+// TestAgainstNaivePerContext compares vectorized evaluation against the
+// reference engine context-by-context on mixed queries.
+func TestAgainstNaivePerContext(t *testing.T) {
+	d := xmltree.MustParseString(
+		`<r><a><b>x</b></a><a><b>y</b><b>x</b></a><c/></r>`)
+	nv := naive.New(d)
+	td := New(d)
+	queries := []string{
+		"count(child::b[. = 'x'])",
+		"string(child::b[last()])",
+		"boolean(following-sibling::*)",
+		"child::b[. = 'x'] | child::b[. = 'y']",
+	}
+	for _, q := range queries {
+		e := xpath.MustParse(q)
+		for i := 0; i < d.Len(); i++ {
+			ctx := semantics.Context{Node: xmltree.NodeID(i), Pos: 1, Size: 1}
+			want, err := nv.Evaluate(e, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := td.Evaluate(e, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s at node %d: topdown %+v, naive %+v", q, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,707 @@
+// Package wadler implements Section 11: the Extended Wadler Fragment
+// and the OptMinContext algorithm (Algorithm 11.1).
+//
+// The Extended Wadler Fragment restricts XPath so that every node-set
+// subexpression can be evaluated by *backward* propagation of node sets
+// (never materializing dom×2^dom relations):
+//
+//	Restriction 1 — no data-selecting functions (local-name,
+//	    namespace-uri, name, string, number, string-length,
+//	    normalize-space);
+//	Restriction 2 — no nset RelOp nset with both sides context
+//	    dependent, no count or sum; in nset RelOp scalar the scalar must
+//	    not depend on any context;
+//	Restriction 3 — in id(id(…(c)…)) the innermost c must not depend on
+//	    any context.
+//
+// Queries in the fragment run in O(|D|·|Q|²) space and O(|D|²·|Q|²)
+// time (Theorem 11.3).
+//
+// OptMinContext evaluates every "bottom-up location path" of the query
+// — subexpressions boolean(π) and π RelOp c with context-independent c
+// — innermost first, by eval_bottomup_path/propagate_path_backwards
+// (Appendix A), installs the resulting dom → bool tables into a
+// MinContext evaluator, and runs MinContext for the rest. Subexpressions
+// outside the fragment simply fall back to MinContext's own machinery,
+// so OptMinContext supports all of XPath at MinContext's bounds while
+// meeting the better fragment bounds where they apply (Corollaries 11.4
+// and 11.5).
+package wadler
+
+import (
+	"fmt"
+
+	"repro/internal/axes"
+	"repro/internal/evalutil"
+	"repro/internal/mincontext"
+	"repro/internal/semantics"
+	"repro/internal/topdown"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Evaluator is the OptMinContext query processor.
+type Evaluator struct {
+	doc *xmltree.Document
+
+	// Stats filled by the last Evaluate call.
+	LastBottomUpPaths int // number of subexpressions evaluated bottom-up
+}
+
+// New returns an OptMinContext evaluator for the document.
+func New(d *xmltree.Document) *Evaluator { return &Evaluator{doc: d} }
+
+// Evaluate implements Algorithm 11.1: evaluate all bottom-up location
+// paths inside the query (innermost first), then delegate to MinContext
+// with those results installed.
+func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	mc := mincontext.New(ev.doc)
+	st := &state{doc: ev.doc, pre: map[xpath.Expr][]bool{}, scalar: topdown.New(ev.doc)}
+	if err := st.collect(e); err != nil {
+		return semantics.Value{}, err
+	}
+	for _, cand := range st.order {
+		mc.SetPrecomputed(cand, st.pre[cand])
+	}
+	ev.LastBottomUpPaths = len(st.order)
+	return mc.Evaluate(e, c)
+}
+
+// state carries the precomputed dom → bool tables and the collection
+// order (innermost first).
+type state struct {
+	doc    *xmltree.Document
+	pre    map[xpath.Expr][]bool
+	order  []xpath.Expr
+	scalar *topdown.Evaluator // for context-independent operands c
+}
+
+// ------------------------------------------------------------------
+// Fragment membership
+// ------------------------------------------------------------------
+
+// prohibited are the data-selecting functions of Restriction 1.
+var prohibited = map[string]bool{
+	"local-name": true, "namespace-uri": true, "name": true,
+	"string": true, "number": true, "string-length": true,
+	"normalize-space": true,
+}
+
+// InFragment reports whether a normalized query lies in the Extended
+// Wadler Fragment. The query as a whole must be a location path, or a
+// scalar expression whose node-set parts all occur as bottom-up
+// location paths.
+func InFragment(e xpath.Expr) bool {
+	st := &state{}
+	switch {
+	case isOutermostPath(e):
+		return st.pathInFragment(e)
+	default:
+		return st.scalarInFragment(e)
+	}
+}
+
+func isOutermostPath(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Path:
+		return true
+	case *xpath.Binary:
+		return x.Op == xpath.OpUnion && isOutermostPath(x.Left) && isOutermostPath(x.Right)
+	default:
+		return false
+	}
+}
+
+func (st *state) pathInFragment(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Binary:
+		return st.pathInFragment(x.Left) && st.pathInFragment(x.Right)
+	case *xpath.Path:
+		if x.Filter != nil && !st.idHeadOK(x.Filter) {
+			return false
+		}
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				if !st.scalarInFragment(p) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// idHeadOK checks Restriction 3 for id(id(…(x)…)) heads: the innermost
+// argument is either context independent or a fragment path.
+func (st *state) idHeadOK(e xpath.Expr) bool {
+	c, ok := e.(*xpath.Call)
+	if !ok || c.Name != "id" {
+		return false
+	}
+	switch a := c.Args[0].(type) {
+	case *xpath.Call:
+		if a.Name == "id" {
+			return st.idHeadOK(a)
+		}
+		return xpath.RelevantContext(a) == 0 && st.scalarInFragment(a)
+	case *xpath.Path:
+		return st.pathInFragment(a)
+	default:
+		return xpath.RelevantContext(a) == 0
+	}
+}
+
+// scalarInFragment checks a scalar (non-node-set) expression: node sets
+// may occur only under boolean(π) or as π RelOp c / c RelOp π with a
+// context-independent c.
+func (st *state) scalarInFragment(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Number, *xpath.Literal:
+		return true
+	case *xpath.Negate:
+		return st.scalarInFragment(x.X)
+	case *xpath.Binary:
+		if x.Op == xpath.OpUnion {
+			return false // node set in scalar position
+		}
+		if x.Op.IsRelOp() {
+			ln, rn := x.Left.Type() == xpath.TypeNodeSet, x.Right.Type() == xpath.TypeNodeSet
+			switch {
+			case ln && rn:
+				// nset RelOp nset: only with one side context free
+				// (the appendix handles that case; Restriction 2
+				// forbids both sides context dependent).
+				if xpath.RelevantContext(x.Right) == 0 {
+					return st.bottomUpPathOK(x.Left) && st.scalarNsetOK(x.Right)
+				}
+				if xpath.RelevantContext(x.Left) == 0 {
+					return st.bottomUpPathOK(x.Right) && st.scalarNsetOK(x.Left)
+				}
+				return false
+			case ln:
+				return st.bottomUpPathOK(x.Left) && xpath.RelevantContext(x.Right) == 0 && st.scalarInFragment(x.Right)
+			case rn:
+				return st.bottomUpPathOK(x.Right) && xpath.RelevantContext(x.Left) == 0 && st.scalarInFragment(x.Left)
+			}
+		}
+		return st.scalarInFragment(x.Left) && st.scalarInFragment(x.Right)
+	case *xpath.Call:
+		if prohibited[x.Name] {
+			return false
+		}
+		switch x.Name {
+		case "count", "sum":
+			return false // Restriction 2
+		case "boolean":
+			if x.Args[0].Type() == xpath.TypeNodeSet {
+				return st.bottomUpPathOK(x.Args[0])
+			}
+			return st.scalarInFragment(x.Args[0])
+		case "id":
+			return false // node set in scalar position
+		case "lang":
+			return false // reads document data from the context node
+		}
+		for _, a := range x.Args {
+			if a.Type() == xpath.TypeNodeSet {
+				return false
+			}
+			if !st.scalarInFragment(a) {
+				return false
+			}
+		}
+		return true
+	case *xpath.Path, *xpath.FilterExpr:
+		return false // node set in scalar position
+	case *xpath.VarRef:
+		return false
+	default:
+		return false
+	}
+}
+
+// scalarNsetOK accepts a context-independent node-set operand c (an
+// absolute fragment path or an id chain over a constant).
+func (st *state) scalarNsetOK(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Path:
+		return st.pathInFragment(x)
+	case *xpath.Call:
+		return st.idHeadOK(x)
+	default:
+		return false
+	}
+}
+
+// bottomUpPathOK checks that a path can be evaluated by backward
+// propagation: any axes, any node tests, fragment predicates, and an
+// id-chain head at most.
+func (st *state) bottomUpPathOK(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Path:
+		if x.Filter != nil && !st.idHeadOK(x.Filter) {
+			return false
+		}
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				if !st.scalarInFragment(p) {
+					return false
+				}
+			}
+		}
+		return true
+	case *xpath.Call:
+		return st.idHeadOK(x)
+	default:
+		return false
+	}
+}
+
+// ------------------------------------------------------------------
+// Collection of bottom-up location paths (Algorithm 11.1, step 1)
+// ------------------------------------------------------------------
+
+// collect walks the query post-order and evaluates every qualifying
+// bottom-up location path, innermost first.
+func (st *state) collect(e xpath.Expr) error {
+	switch x := e.(type) {
+	case *xpath.Negate:
+		return st.collect(x.X)
+	case *xpath.Binary:
+		if err := st.collect(x.Left); err != nil {
+			return err
+		}
+		if err := st.collect(x.Right); err != nil {
+			return err
+		}
+		if x.Op.IsRelOp() {
+			if err := st.maybeEvalRelOp(x); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *xpath.Call:
+		for _, a := range x.Args {
+			if err := st.collect(a); err != nil {
+				return err
+			}
+		}
+		if x.Name == "boolean" && x.Args[0].Type() == xpath.TypeNodeSet && st.bottomUpPathOK(x.Args[0]) {
+			if st.predsHandled(x.Args[0]) {
+				return st.evalBottomUpPath(x, x.Args[0], nil, 0)
+			}
+		}
+		return nil
+	case *xpath.FilterExpr:
+		if err := st.collect(x.Primary); err != nil {
+			return err
+		}
+		for _, p := range x.Preds {
+			if err := st.collect(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *xpath.Path:
+		if x.Filter != nil {
+			if err := st.collect(x.Filter); err != nil {
+				return err
+			}
+		}
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				if err := st.collect(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// maybeEvalRelOp evaluates a qualifying π RelOp c / c RelOp π node
+// bottom-up.
+func (st *state) maybeEvalRelOp(b *xpath.Binary) error {
+	ln := b.Left.Type() == xpath.TypeNodeSet && xpath.RelevantContext(b.Left) != 0
+	rn := b.Right.Type() == xpath.TypeNodeSet && xpath.RelevantContext(b.Right) != 0
+	var pathSide, constSide xpath.Expr
+	op := b.Op
+	switch {
+	case ln && !rn && xpath.RelevantContext(b.Right) == 0:
+		pathSide, constSide = b.Left, b.Right
+	case rn && !ln && xpath.RelevantContext(b.Left) == 0:
+		pathSide, constSide = b.Right, b.Left
+		op = flipOp(op)
+	default:
+		return nil
+	}
+	if !st.bottomUpPathOK(pathSide) || !st.predsHandled(pathSide) {
+		return nil
+	}
+	// The constant side must itself be evaluable (any XPath; use the
+	// polynomial top-down engine once — it is context independent).
+	cv, err := st.scalar.Evaluate(constSide, semantics.Context{Node: st.doc.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		return nil // leave it to MinContext
+	}
+	return st.evalBottomUpPath(b, pathSide, &cv, op)
+}
+
+func flipOp(op xpath.BinOp) xpath.BinOp {
+	switch op {
+	case xpath.OpLt:
+		return xpath.OpGt
+	case xpath.OpLe:
+		return xpath.OpGe
+	case xpath.OpGt:
+		return xpath.OpLt
+	case xpath.OpGe:
+		return xpath.OpLe
+	default:
+		return op
+	}
+}
+
+// predsHandled reports whether every predicate inside the path can be
+// evaluated by this package's predicate evaluator — i.e. all its
+// node-set parts are themselves already-collected bottom-up paths.
+func (st *state) predsHandled(e xpath.Expr) bool {
+	p, ok := e.(*xpath.Path)
+	if !ok {
+		_, isCall := e.(*xpath.Call)
+		return isCall // id(…) heads carry no predicates of their own
+	}
+	for _, s := range p.Steps {
+		for _, pr := range s.Preds {
+			if !st.predHandled(pr) {
+				return false
+			}
+		}
+	}
+	if p.Filter != nil {
+		return st.idFilterHandled(p.Filter)
+	}
+	return true
+}
+
+func (st *state) idFilterHandled(e xpath.Expr) bool {
+	c, ok := e.(*xpath.Call)
+	if !ok || c.Name != "id" {
+		return false
+	}
+	switch a := c.Args[0].(type) {
+	case *xpath.Path:
+		return st.predsHandled(a)
+	case *xpath.Call:
+		if a.Name == "id" {
+			return st.idFilterHandled(a)
+		}
+		return xpath.RelevantContext(a) == 0
+	default:
+		return xpath.RelevantContext(a) == 0
+	}
+}
+
+// predHandled mirrors evalPred's coverage.
+func (st *state) predHandled(e xpath.Expr) bool {
+	if _, ok := st.pre[e]; ok {
+		return true
+	}
+	switch x := e.(type) {
+	case *xpath.Number, *xpath.Literal:
+		return true
+	case *xpath.Negate:
+		return st.predHandled(x.X)
+	case *xpath.Binary:
+		if x.Op == xpath.OpUnion {
+			return false
+		}
+		if x.Op.IsRelOp() &&
+			(x.Left.Type() == xpath.TypeNodeSet || x.Right.Type() == xpath.TypeNodeSet) {
+			_, ok := st.pre[e]
+			return ok
+		}
+		return st.predHandled(x.Left) && st.predHandled(x.Right)
+	case *xpath.Call:
+		switch x.Name {
+		case "position", "last", "true", "false":
+			return true
+		case "not", "boolean":
+			if _, ok := st.pre[x.Args[0]]; ok {
+				return true
+			}
+			if x.Args[0].Type() == xpath.TypeNodeSet {
+				return false
+			}
+			return st.predHandled(x.Args[0])
+		case "floor", "ceiling", "round", "concat", "starts-with",
+			"contains", "substring", "substring-before", "substring-after",
+			"translate":
+			for _, a := range x.Args {
+				if a.Type() == xpath.TypeNodeSet || !st.predHandled(a) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
+
+// ------------------------------------------------------------------
+// eval_bottomup_path (Appendix A)
+// ------------------------------------------------------------------
+
+// evalBottomUpPath computes the dom → bool table of a boolean(π) or
+// π RelOp c node and stores it under the whole expression key.
+//
+// Step 1 determines the initial node set Y; step 2 propagates Y
+// backwards through the inverted location steps.
+func (st *state) evalBottomUpPath(key xpath.Expr, pathSide xpath.Expr, c *semantics.Value, op xpath.BinOp) error {
+	if _, done := st.pre[key]; done {
+		return nil
+	}
+	n := st.doc.Len()
+	var y xmltree.NodeSet
+	boolRelOp := false
+	if c == nil {
+		// boolean(π): Y := dom.
+		y = st.dom()
+	} else {
+		switch c.Kind {
+		case xpath.TypeBoolean:
+			// π RelOp bool is boolean(π) RelOp bool: propagate with
+			// Y = dom, compare afterwards.
+			y = st.dom()
+			boolRelOp = true
+		default:
+			// Y := {y | strval-based comparison with c holds}.
+			for i := 0; i < n; i++ {
+				id := xmltree.NodeID(i)
+				if semantics.Compare(st.doc, op, semantics.NodeSet(xmltree.NodeSet{id}), *c) {
+					y = append(y, id)
+				}
+			}
+		}
+	}
+	reach, err := st.propagateBackwards(pathSide, y)
+	if err != nil {
+		return err
+	}
+	vals := make([]bool, n)
+	for _, x := range reach {
+		vals[x] = true
+	}
+	if boolRelOp {
+		for i := range vals {
+			vals[i] = semantics.Compare(st.doc, op, semantics.Boolean(vals[i]), *c)
+		}
+	}
+	st.pre[key] = vals
+	st.order = append(st.order, key)
+	return nil
+}
+
+func (st *state) dom() xmltree.NodeSet {
+	s := make(xmltree.NodeSet, st.doc.Len())
+	for i := range s {
+		s[i] = xmltree.NodeID(i)
+	}
+	return s
+}
+
+// propagateBackwards is propagate_path_backwards: it walks the path's
+// steps from last to first, inverting each one, and returns
+// {x | ∃y ∈ Y reachable from x via the path}.
+func (st *state) propagateBackwards(e xpath.Expr, y xmltree.NodeSet) (xmltree.NodeSet, error) {
+	if len(y) == 0 {
+		return nil, nil
+	}
+	switch p := e.(type) {
+	case *xpath.Call: // bare id(…) chain
+		return st.propagateIDHead(p, y)
+	case *xpath.Path:
+		cur := y
+		for i := len(p.Steps) - 1; i >= 0; i-- {
+			var err error
+			cur, err = st.propagateStepBackwards(p.Steps[i], cur)
+			if err != nil {
+				return nil, err
+			}
+			if len(cur) == 0 {
+				return nil, nil
+			}
+		}
+		if p.Filter != nil {
+			return st.propagateIDHead(p.Filter, cur)
+		}
+		if p.Absolute {
+			if cur.Contains(st.doc.RootID()) {
+				return st.dom(), nil
+			}
+			return nil, nil
+		}
+		return cur, nil
+	default:
+		return nil, fmt.Errorf("wadler: cannot propagate through %T", e)
+	}
+}
+
+func (st *state) propagateIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.NodeSet, error) {
+	c, ok := e.(*xpath.Call)
+	if !ok || c.Name != "id" {
+		return nil, fmt.Errorf("wadler: unsupported path head %s", e)
+	}
+	if a, ok := c.Args[0].(*xpath.Path); ok {
+		back := axes.EvalIDInverse(st.doc, cur)
+		return st.propagateBackwards(a, back)
+	}
+	if a, ok := c.Args[0].(*xpath.Call); ok && a.Name == "id" {
+		back := axes.EvalIDInverse(st.doc, cur)
+		return st.propagateIDHead(a, back)
+	}
+	// Innermost context-independent argument: the head's value is
+	// constant; the whole chain matches from every context node iff the
+	// constant's extension intersects cur.
+	v, err := st.scalar.Evaluate(c, semantics.Context{Node: st.doc.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != xpath.TypeNodeSet {
+		return nil, fmt.Errorf("wadler: id head is not a node set")
+	}
+	if !v.Set.Intersect(cur).IsEmpty() {
+		return st.dom(), nil
+	}
+	return nil, nil
+}
+
+// propagateStepBackwards inverts one location step: restrict the target
+// set to the node test, apply the predicates, then take χ⁻¹. Predicates
+// that depend on position/size run in a loop over the pairs of
+// previous/current context node, as in the appendix pseudocode.
+func (st *state) propagateStepBackwards(step *xpath.Step, y xmltree.NodeSet) (xmltree.NodeSet, error) {
+	yt := evalutil.FilterTest(st.doc, step.Axis, step.Test, y)
+	if len(yt) == 0 {
+		return nil, nil
+	}
+	needPos := false
+	for _, p := range step.Preds {
+		if xpath.RelevantContext(p)&(xpath.RelevPos|xpath.RelevSize) != 0 {
+			needPos = true
+		}
+	}
+	if !needPos {
+		for _, p := range step.Preds {
+			var keep xmltree.NodeSet
+			for _, n := range yt {
+				v, err := st.evalPred(p, semantics.Context{Node: n, Pos: -1, Size: -1})
+				if err != nil {
+					return nil, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, n)
+				}
+			}
+			yt = keep
+			if len(yt) == 0 {
+				return nil, nil
+			}
+		}
+		return axes.EvalInverse(st.doc, step.Axis, yt), nil
+	}
+	// Position-dependent: loop over previous context nodes x and their
+	// candidate sets. Note the candidate set Z (and thus the context
+	// size) must be computed over ALL candidates of x, not only those in
+	// yt; positions refer to the unrestricted step result.
+	xs := axes.EvalInverse(st.doc, step.Axis, yt)
+	var out xmltree.NodeSet
+	for _, x := range xs {
+		z := evalutil.StepCandidates(st.doc, step.Axis, step.Test, x)
+		for _, p := range step.Preds {
+			ordered := evalutil.AxisOrdered(step.Axis, z)
+			var keep []xmltree.NodeID
+			for j, zn := range ordered {
+				v, err := st.evalPred(p, semantics.Context{Node: zn, Pos: j + 1, Size: len(ordered)})
+				if err != nil {
+					return nil, err
+				}
+				if semantics.ToBoolean(v) {
+					keep = append(keep, zn)
+				}
+			}
+			z = xmltree.NewNodeSet(keep...)
+		}
+		if !z.Intersect(yt).IsEmpty() {
+			out = append(out, x)
+		}
+	}
+	return xmltree.NewNodeSet(out...), nil
+}
+
+// evalPred evaluates a predicate for a single context, consulting the
+// precomputed bottom-up tables for any node-set parts.
+func (st *state) evalPred(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	if vals, ok := st.pre[e]; ok {
+		return semantics.Boolean(vals[c.Node]), nil
+	}
+	switch x := e.(type) {
+	case *xpath.Number:
+		return semantics.Number(x.Val), nil
+	case *xpath.Literal:
+		return semantics.String(x.Val), nil
+	case *xpath.Negate:
+		v, err := st.evalPred(x.X, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		return semantics.Number(-semantics.ToNumber(st.doc, v)), nil
+	case *xpath.Binary:
+		l, err := st.evalPred(x.Left, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		r, err := st.evalPred(x.Right, c)
+		if err != nil {
+			return semantics.Value{}, err
+		}
+		switch {
+		case x.Op == xpath.OpAnd:
+			return semantics.Boolean(semantics.ToBoolean(l) && semantics.ToBoolean(r)), nil
+		case x.Op == xpath.OpOr:
+			return semantics.Boolean(semantics.ToBoolean(l) || semantics.ToBoolean(r)), nil
+		case x.Op.IsRelOp():
+			return semantics.Boolean(semantics.Compare(st.doc, x.Op, l, r)), nil
+		case x.Op.IsArith():
+			return semantics.Number(semantics.Arith(x.Op,
+				semantics.ToNumber(st.doc, l), semantics.ToNumber(st.doc, r))), nil
+		default:
+			return semantics.Value{}, fmt.Errorf("wadler: operator %v in predicate", x.Op)
+		}
+	case *xpath.Call:
+		switch x.Name {
+		case "position":
+			return semantics.Number(float64(c.Pos)), nil
+		case "last":
+			return semantics.Number(float64(c.Size)), nil
+		}
+		args := make([]semantics.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := st.evalPred(a, c)
+			if err != nil {
+				return semantics.Value{}, err
+			}
+			args[i] = v
+		}
+		return semantics.CallFunction(st.doc, x.Name, c, args)
+	default:
+		return semantics.Value{}, fmt.Errorf("wadler: unsupported predicate part %T", e)
+	}
+}

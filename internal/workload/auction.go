@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Auction builds an XMark-flavoured auction document with n items, a
+// person directory, and open auctions whose bidders cross-reference
+// persons by ID. It provides the deeper, more heterogeneous structure
+// the flat experiment documents lack, for integration tests and the
+// realistic examples. Deterministic per seed.
+func Auction(seed int64, n int) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder()
+	b.StartElement("site")
+
+	regions := []string{"africa", "asia", "europe"}
+	b.StartElement("regions")
+	for ri, region := range regions {
+		b.StartElement(region)
+		for i := 0; i < n/len(regions); i++ {
+			id := fmt.Sprintf("item%d_%d", ri, i)
+			b.StartElement("item")
+			b.Attribute("id", id)
+			b.StartElement("name")
+			b.Text(fmt.Sprintf("Item %s", id))
+			b.EndElement()
+			b.StartElement("payment")
+			b.Text([]string{"cash", "creditcard"}[r.Intn(2)])
+			b.EndElement()
+			b.StartElement("quantity")
+			b.Text(fmt.Sprintf("%d", 1+r.Intn(5)))
+			b.EndElement()
+			if r.Intn(3) == 0 {
+				b.StartElement("shipping")
+				b.Text("worldwide")
+				b.EndElement()
+			}
+			b.EndElement()
+		}
+		b.EndElement()
+	}
+	b.EndElement()
+
+	people := n / 2
+	if people < 4 {
+		people = 4
+	}
+	b.StartElement("people")
+	for i := 0; i < people; i++ {
+		b.StartElement("person")
+		b.Attribute("id", fmt.Sprintf("person%d", i))
+		b.StartElement("name")
+		b.Text(fmt.Sprintf("Person %d", i))
+		b.EndElement()
+		if r.Intn(2) == 0 {
+			b.StartElement("emailaddress")
+			b.Text(fmt.Sprintf("p%d@example.org", i))
+			b.EndElement()
+		}
+		if r.Intn(4) == 0 {
+			b.StartElement("creditcard")
+			b.Text(fmt.Sprintf("%04d %04d", r.Intn(10000), r.Intn(10000)))
+			b.EndElement()
+		}
+		b.EndElement()
+	}
+	b.EndElement()
+
+	b.StartElement("open_auctions")
+	for i := 0; i < n/2; i++ {
+		b.StartElement("open_auction")
+		b.Attribute("id", fmt.Sprintf("auction%d", i))
+		bids := 1 + r.Intn(4)
+		price := 10 + r.Intn(90)
+		for j := 0; j < bids; j++ {
+			b.StartElement("bidder")
+			b.StartElement("personref")
+			b.Text(fmt.Sprintf("person%d", r.Intn(people)))
+			b.EndElement()
+			price += r.Intn(20)
+			b.StartElement("increase")
+			b.Text(fmt.Sprintf("%d", price))
+			b.EndElement()
+			b.EndElement()
+		}
+		b.StartElement("current")
+		b.Text(fmt.Sprintf("%d", price))
+		b.EndElement()
+		b.StartElement("itemref")
+		ri := r.Intn(len(regions))
+		b.Text(fmt.Sprintf("item%d_%d", ri, r.Intn(maxInt(1, n/len(regions)))))
+		b.EndElement()
+		b.EndElement()
+	}
+	b.EndElement()
+
+	b.EndElement()
+	return b.MustDone()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

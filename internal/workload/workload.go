@@ -1,0 +1,194 @@
+// Package workload generates the synthetic documents and query families
+// of the paper's experimental section (Section 2 and Section 9.3), plus
+// realistic documents for the examples and ablation benchmarks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Doc builds DOC(i) of Section 2: ⟨a⟩ ⟨b/⟩ × i ⟨/a⟩, whose tree contains
+// i+1 element nodes (plus the root).
+func Doc(i int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.StartElement("a")
+	for k := 0; k < i; k++ {
+		b.StartElement("b")
+		b.EndElement()
+	}
+	b.EndElement()
+	return b.MustDone()
+}
+
+// DocPrime builds DOC′(i) of Experiment 2: like DOC(i) but every b
+// element contains the text "c".
+func DocPrime(i int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.StartElement("a")
+	for k := 0; k < i; k++ {
+		b.StartElement("b")
+		b.Text("c")
+		b.EndElement()
+	}
+	b.EndElement()
+	return b.MustDone()
+}
+
+// DeepDoc builds the non-branching path of i b-nodes used in Experiment
+// 5(b): ⟨b⟩…⟨b⟩⟨/b⟩…⟨/b⟩.
+func DeepDoc(i int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	for k := 0; k < i; k++ {
+		b.StartElement("b")
+	}
+	for k := 0; k < i; k++ {
+		b.EndElement()
+	}
+	return b.MustDone()
+}
+
+// Exp1Query builds the k-th Experiment 1 query: the first query is
+// //a/b, and each following query appends /parent::a/b.
+func Exp1Query(k int) string {
+	var sb strings.Builder
+	sb.WriteString("//a/b")
+	for i := 1; i < k; i++ {
+		sb.WriteString("/parent::a/b")
+	}
+	return sb.String()
+}
+
+// Exp2Query builds the k-th Experiment 2 query, nesting paths and
+// relational operators:
+//
+//	//*[parent::a/child::* = 'c']
+//	//*[parent::a/child::*[parent::a/child::* = 'c'] = 'c']
+//	…
+func Exp2Query(k int) string {
+	inner := "parent::a/child::*"
+	for i := 1; i < k; i++ {
+		inner = "parent::a/child::*[" + inner + " = 'c']"
+	}
+	return "//*[" + inner + " = 'c']"
+}
+
+// Exp3Query builds the k-th Experiment 3 query, nesting paths and
+// arithmetic through count():
+//
+//	//a/b[count(parent::a/b) > 1]
+//	//a/b[count(parent::a/b[count(parent::a/b) > 1]) > 1]
+//	…
+func Exp3Query(k int) string {
+	pred := "count(parent::a/b) > 1"
+	for i := 1; i < k; i++ {
+		pred = "count(parent::a/b[" + pred + "]) > 1"
+	}
+	return "//a/b[" + pred + "]"
+}
+
+// Exp4Query builds the fixed query of Experiment 4, ‘//a’+q(i)+‘//b’
+// with
+//
+//	q(i) = //b[ancestor::a + q(i−1) + //b]/ancestor::a   (i > 0)
+//	q(0) = ""
+//
+// The paper uses i = 20.
+func Exp4Query(i int) string {
+	q := ""
+	for k := 0; k < i; k++ {
+		q = "//b[ancestor::a" + q + "//b]/ancestor::a"
+	}
+	return "//a" + q + "//b"
+}
+
+// Exp5FollowingQuery builds the Experiment 5(a) query of size k:
+// count(//b/following::b/…/following::b) with k−1 following steps.
+func Exp5FollowingQuery(k int) string {
+	var sb strings.Builder
+	sb.WriteString("count(//b")
+	for i := 1; i < k; i++ {
+		sb.WriteString("/following::b")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Exp5DescendantQuery builds the Experiment 5(b) query of size k:
+// count(//b//b…//b) with k b-steps.
+func Exp5DescendantQuery(k int) string {
+	var sb strings.Builder
+	sb.WriteString("count(")
+	for i := 0; i < k; i++ {
+		sb.WriteString("//b")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Catalog builds a realistic product-catalog document with n products,
+// cross-referenced by ID (used by examples and the ablation benches).
+// Products cycle through three categories; every third product
+// references another product as an accessory.
+func Catalog(n int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.StartElement("catalog")
+	b.Attribute("id", "cat")
+	cats := []string{"audio", "video", "storage"}
+	for i := 0; i < n; i++ {
+		b.StartElement("product")
+		b.Attribute("id", fmt.Sprintf("p%d", i))
+		b.Attribute("category", cats[i%3])
+		b.StartElement("name")
+		b.Text(fmt.Sprintf("Product %d", i))
+		b.EndElement()
+		b.StartElement("price")
+		b.Text(fmt.Sprintf("%d", 10+(i*7)%90))
+		b.EndElement()
+		if i%3 == 2 {
+			b.StartElement("accessory")
+			b.Text(fmt.Sprintf("p%d", (i+1)%n))
+			b.EndElement()
+		}
+		if i%5 == 0 {
+			b.StartElement("discontinued")
+			b.EndElement()
+		}
+		b.EndElement()
+	}
+	b.EndElement()
+	return b.MustDone()
+}
+
+// RandomTree builds a pseudo-random document of roughly n element nodes
+// with the given tag alphabet size and maximum depth, deterministic per
+// seed. Useful for property tests.
+func RandomTree(seed int64, n, tags, maxDepth int) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder()
+	b.StartElement("root")
+	remaining := n
+	var build func(depth int)
+	build = func(depth int) {
+		for remaining > 0 {
+			if r.Intn(4) == 0 {
+				return
+			}
+			remaining--
+			b.StartElement(string(rune('a' + r.Intn(tags))))
+			if r.Intn(3) == 0 {
+				b.Text(fmt.Sprintf("%d", r.Intn(100)))
+			}
+			if depth < maxDepth {
+				build(depth + 1)
+			}
+			b.EndElement()
+		}
+	}
+	build(0)
+	b.EndElement()
+	return b.MustDone()
+}

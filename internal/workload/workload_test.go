@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestDoc(t *testing.T) {
+	d := Doc(4)
+	// Root + a + 4 b = 6 nodes (Example 4.1).
+	if d.Len() != 6 {
+		t.Errorf("DOC(4) nodes = %d, want 6", d.Len())
+	}
+	a := d.DocumentElement()
+	if d.Name(a) != "a" || len(d.Children(a)) != 4 {
+		t.Errorf("DOC(4) structure wrong")
+	}
+	if d.Len() != Doc(4).Len() {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestDocPrime(t *testing.T) {
+	d := DocPrime(3)
+	a := d.DocumentElement()
+	for _, b := range d.Children(a) {
+		if d.StringValue(b) != "c" {
+			t.Errorf("b content = %q, want c", d.StringValue(b))
+		}
+	}
+	// Root + a + 3 b + 3 text = 8.
+	if d.Len() != 8 {
+		t.Errorf("DOC'(3) nodes = %d, want 8", d.Len())
+	}
+}
+
+func TestDeepDoc(t *testing.T) {
+	d := DeepDoc(5)
+	if d.Len() != 6 { // root + 5 b
+		t.Errorf("DeepDoc(5) nodes = %d, want 6", d.Len())
+	}
+	// Must be a non-branching chain.
+	n := d.DocumentElement()
+	depth := 0
+	for n != -1 {
+		depth++
+		kids := d.Children(n)
+		if len(kids) > 1 {
+			t.Fatalf("node has %d children; want chain", len(kids))
+		}
+		if len(kids) == 0 {
+			break
+		}
+		n = kids[0]
+	}
+	if depth != 5 {
+		t.Errorf("chain depth = %d, want 5", depth)
+	}
+}
+
+func TestQueryFamiliesParseAndGrow(t *testing.T) {
+	gens := map[string]func(int) string{
+		"exp1":  Exp1Query,
+		"exp2":  Exp2Query,
+		"exp3":  Exp3Query,
+		"exp5a": Exp5FollowingQuery,
+		"exp5b": Exp5DescendantQuery,
+	}
+	for name, gen := range gens {
+		prev := 0
+		for k := 1; k <= 10; k++ {
+			q := gen(k)
+			if _, err := xpath.Parse(q); err != nil {
+				t.Fatalf("%s(%d) = %q does not parse: %v", name, k, q, err)
+			}
+			if len(q) <= prev {
+				t.Errorf("%s(%d) did not grow", name, k)
+			}
+			prev = len(q)
+		}
+	}
+	// Exp4 queries parse too; size is O(i).
+	for _, i := range []int{0, 1, 5, 20} {
+		q := Exp4Query(i)
+		if _, err := xpath.Parse(q); err != nil {
+			t.Fatalf("Exp4Query(%d) = %q: %v", i, q, err)
+		}
+	}
+}
+
+func TestExp1QueryShape(t *testing.T) {
+	if Exp1Query(1) != "//a/b" {
+		t.Errorf("Exp1Query(1) = %q", Exp1Query(1))
+	}
+	q3 := Exp1Query(3)
+	if q3 != "//a/b/parent::a/b/parent::a/b" {
+		t.Errorf("Exp1Query(3) = %q", q3)
+	}
+}
+
+func TestExp4QueryShape(t *testing.T) {
+	// The paper's example of size 2:
+	// //a//b[ancestor::a//b[ancestor::a//b]/ancestor::a//b]/ancestor::a//b
+	want := "//a//b[ancestor::a//b[ancestor::a//b]/ancestor::a//b]/ancestor::a//b"
+	if got := Exp4Query(2); got != want {
+		t.Errorf("Exp4Query(2) =\n  %s\nwant\n  %s", got, want)
+	}
+}
+
+func TestExp5Queries(t *testing.T) {
+	if got := Exp5FollowingQuery(3); got != "count(//b/following::b/following::b)" {
+		t.Errorf("Exp5FollowingQuery(3) = %q", got)
+	}
+	if got := Exp5DescendantQuery(3); got != "count(//b//b//b)" {
+		t.Errorf("Exp5DescendantQuery(3) = %q", got)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	d := Catalog(30)
+	// Every product id resolves.
+	for i := 0; i < 30; i++ {
+		if d.IDOf(fmt.Sprintf("p%d", i)) == xmltree.NilNode {
+			t.Errorf("catalog id p%d missing", i)
+		}
+	}
+	// Accessory references resolve to existing products.
+	found := 0
+	for i := 0; i < d.Len(); i++ {
+		n := xmltree.NodeID(i)
+		if d.Name(n) == "accessory" {
+			found++
+			ref := d.StringValue(n)
+			if d.IDOf(ref) == xmltree.NilNode {
+				t.Errorf("dangling accessory reference %q", ref)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("catalog has no accessory elements")
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	d1 := RandomTree(7, 50, 3, 4)
+	d2 := RandomTree(7, 50, 3, 4)
+	if d1.Len() != d2.Len() {
+		t.Errorf("RandomTree not deterministic: %d vs %d", d1.Len(), d2.Len())
+	}
+	if d1.XMLString() != d2.XMLString() {
+		t.Error("RandomTree content differs across runs")
+	}
+	d3 := RandomTree(8, 50, 3, 4)
+	if d1.XMLString() == d3.XMLString() {
+		t.Error("different seeds produced identical trees")
+	}
+}

@@ -1,0 +1,241 @@
+package xmltree
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Document is an immutable XML document tree in the paper's data model.
+// Nodes live in a dense arena indexed by NodeID; arena order is document
+// order (the order of opening tags, with namespace and attribute nodes
+// placed directly after their element, namespaces first — matching the
+// XPath 1.0 document-order rules).
+type Document struct {
+	nodes []Node
+
+	// ids maps an ID value to the element node carrying it, supporting
+	// the deref_ids function of Section 4. Built from attributes whose
+	// name is in the builder's IDAttributes set (default {"id"}).
+	ids map[string]NodeID
+
+	// ref is the auxiliary relation of Theorem 10.7: ref contains ⟨x,y⟩
+	// iff the text *directly* inside x (not in descendants) contains a
+	// whitespace-separated token equal to the ID of y. Stored as a
+	// forward adjacency list plus its inverse.
+	ref    map[NodeID][]NodeID
+	refInv map[NodeID][]NodeID
+
+	// strvalCache memoizes strval for element and root nodes, which is
+	// the concatenation of descendant text (Section 4). strvalMu makes
+	// the lazy fill safe for concurrent readers; everything else in a
+	// Document is immutable after construction.
+	strvalMu    sync.Mutex
+	strvalCache []string
+	strvalDone  []bool
+}
+
+// Len returns |dom|, the number of nodes in the document.
+func (d *Document) Len() int { return len(d.nodes) }
+
+// RootID returns the NodeID of the root node (always 0).
+func (d *Document) RootID() NodeID { return 0 }
+
+// Node returns the node with the given ID. The returned pointer aliases
+// the document's arena and must not be mutated.
+func (d *Document) Node(id NodeID) *Node { return &d.nodes[id] }
+
+// Type returns the node type of id.
+func (d *Document) Type(id NodeID) NodeType { return d.nodes[id].Type }
+
+// Name returns the node name of id.
+func (d *Document) Name(id NodeID) string { return d.nodes[id].Name }
+
+// FirstChild implements the primitive function firstchild: dom → dom.
+func (d *Document) FirstChild(id NodeID) NodeID { return d.nodes[id].FirstChild }
+
+// NextSibling implements the primitive function nextsibling: dom → dom.
+func (d *Document) NextSibling(id NodeID) NodeID { return d.nodes[id].NextSibling }
+
+// PrevSibling implements nextsibling⁻¹.
+func (d *Document) PrevSibling(id NodeID) NodeID { return d.nodes[id].PrevSibling }
+
+// Parent returns the parent node, or NilNode for the root. Note that in
+// the abstract model parent = (nextsibling⁻¹)*.firstchild⁻¹; the arena
+// stores it directly.
+func (d *Document) Parent(id NodeID) NodeID { return d.nodes[id].Parent }
+
+// FirstChildInv implements firstchild⁻¹: it returns the parent of id iff
+// id is its parent's first child, and NilNode otherwise.
+func (d *Document) FirstChildInv(id NodeID) NodeID {
+	p := d.nodes[id].Parent
+	if p != NilNode && d.nodes[p].FirstChild == id {
+		return p
+	}
+	return NilNode
+}
+
+// Before reports whether a precedes b in document order (a <doc b).
+func (d *Document) Before(a, b NodeID) bool { return a < b }
+
+// StringValue computes strval (Section 4): for element and root nodes the
+// concatenation of all descendant text nodes in document order; for text,
+// comment and processing-instruction nodes their character data; for
+// attribute and namespace nodes their value.
+func (d *Document) StringValue(id NodeID) string {
+	n := &d.nodes[id]
+	switch n.Type {
+	case Text, Comment:
+		return n.Data
+	case ProcInst:
+		return n.Data
+	case Attribute, Namespace:
+		return n.Data
+	}
+	// Element or root: memoized concatenation of descendant text.
+	d.strvalMu.Lock()
+	if d.strvalDone[id] {
+		s := d.strvalCache[id]
+		d.strvalMu.Unlock()
+		return s
+	}
+	d.strvalMu.Unlock()
+	var b strings.Builder
+	d.appendText(id, &b)
+	s := b.String()
+	d.strvalMu.Lock()
+	d.strvalCache[id] = s
+	d.strvalDone[id] = true
+	d.strvalMu.Unlock()
+	return s
+}
+
+func (d *Document) appendText(id NodeID, b *strings.Builder) {
+	for c := d.nodes[id].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		switch d.nodes[c].Type {
+		case Text:
+			b.WriteString(d.nodes[c].Data)
+		case Element:
+			d.appendText(c, b)
+		}
+	}
+}
+
+// DirectText returns the concatenation of text directly inside id (not in
+// descendants). Used to build the ref relation of Theorem 10.7.
+func (d *Document) DirectText(id NodeID) string {
+	var b strings.Builder
+	for c := d.nodes[id].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		if d.nodes[c].Type == Text {
+			b.WriteString(d.nodes[c].Data)
+		}
+	}
+	return b.String()
+}
+
+// DerefIDs implements deref_ids: string → 2^dom (Section 4). The input is
+// interpreted as a whitespace-separated list of keys; the result is the
+// set of nodes whose IDs are in the list, sorted in document order.
+func (d *Document) DerefIDs(s string) []NodeID {
+	var out []NodeID
+	seen := map[NodeID]bool{}
+	for _, key := range strings.Fields(s) {
+		if n, ok := d.ids[key]; ok && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IDOf returns the element registered under the given ID, or NilNode.
+func (d *Document) IDOf(key string) NodeID {
+	if n, ok := d.ids[key]; ok {
+		return n
+	}
+	return NilNode
+}
+
+// Ref returns the nodes referenced from x via the ref relation
+// (Theorem 10.7): nodes whose ID appears as a whitespace-separated token
+// in the text directly inside x.
+func (d *Document) Ref(x NodeID) []NodeID { return d.ref[x] }
+
+// RefInv returns the nodes that reference y via the ref relation.
+func (d *Document) RefInv(y NodeID) []NodeID { return d.refInv[y] }
+
+// Attributes returns the attribute nodes of an element in document order.
+func (d *Document) Attributes(id NodeID) []NodeID {
+	var out []NodeID
+	for c := d.nodes[id].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		if d.nodes[c].Type == Attribute {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Attr returns the value of the named attribute of element id and whether
+// it is present.
+func (d *Document) Attr(id NodeID, name string) (string, bool) {
+	for c := d.nodes[id].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		if d.nodes[c].Type == Attribute && d.nodes[c].Name == name {
+			return d.nodes[c].Data, true
+		}
+	}
+	return "", false
+}
+
+// Children returns the regular (non-attribute, non-namespace) children of
+// id in document order.
+func (d *Document) Children(id NodeID) []NodeID {
+	var out []NodeID
+	for c := d.nodes[id].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		if !d.nodes[c].IsAttrOrNS() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DocumentElement returns the document element (the single element child
+// of the root), or NilNode for a pathological empty document.
+func (d *Document) DocumentElement() NodeID {
+	for c := d.nodes[0].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		if d.nodes[c].Type == Element {
+			return c
+		}
+	}
+	return NilNode
+}
+
+// Lang returns the value of the nearest xml:lang attribute on id or an
+// ancestor, supporting the lang() core function.
+func (d *Document) Lang(id NodeID) string {
+	for n := id; n != NilNode; n = d.nodes[n].Parent {
+		if d.nodes[n].Type != Element {
+			continue
+		}
+		if v, ok := d.Attr(n, "xml:lang"); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// Names returns the set of distinct element names in the document. Used
+// by the XPatterns first-of-type/last-of-type predicates (Theorem 10.8),
+// whose precomputation is O(|D|·|Σ|).
+func (d *Document) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range d.nodes {
+		if d.nodes[i].Type == Element && !seen[d.nodes[i].Name] {
+			seen[d.nodes[i].Name] = true
+			out = append(out, d.nodes[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+// Package xmltree implements the XPath data model of Gottlob, Koch and
+// Pichler, "Efficient Algorithms for Processing XPath Queries" (VLDB 2002),
+// Sections 3 and 4.
+//
+// An XML document is an unranked, ordered, labeled tree held in a dense node
+// arena. The tree structure is represented exactly by the paper's two
+// "primitive" relations
+//
+//	firstchild, nextsibling : dom → dom
+//
+// and their inverses (firstchild⁻¹ is recovered from Parent+PrevSibling).
+// Every node is one of seven types: root, element, text, comment, attribute,
+// namespace, and processing instruction. Following Section 4, attribute and
+// namespace nodes are modeled as abstract children of their element: the
+// attribute axis is child₀(S) ∩ T(attribute()), and all ordinary axes filter
+// attribute and namespace nodes out of their results.
+package xmltree
+
+import "fmt"
+
+// NodeID identifies a node within its Document. IDs are dense indices into
+// the document's node arena and are assigned in document order, so comparing
+// two NodeIDs compares document positions. NilNode represents "null" in the
+// paper's primitive tree functions.
+type NodeID int32
+
+// NilNode is the absent node ("null" in the paper's tree functions).
+const NilNode NodeID = -1
+
+// NodeType enumerates the seven node types of the XPath 1.0 data model
+// (Section 4).
+type NodeType uint8
+
+// The seven XPath node types.
+const (
+	Root NodeType = iota
+	Element
+	Text
+	Comment
+	Attribute
+	Namespace
+	ProcInst
+)
+
+// String returns the conventional XPath name of the node type.
+func (t NodeType) String() string {
+	switch t {
+	case Root:
+		return "root"
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Comment:
+		return "comment"
+	case Attribute:
+		return "attribute"
+	case Namespace:
+		return "namespace"
+	case ProcInst:
+		return "processing-instruction"
+	default:
+		return fmt.Sprintf("NodeType(%d)", uint8(t))
+	}
+}
+
+// HasName reports whether nodes of this type carry a name. Per Section 4,
+// all types besides text and comment (and the root) have a name.
+func (t NodeType) HasName() bool {
+	switch t {
+	case Element, Attribute, Namespace, ProcInst:
+		return true
+	default:
+		return false
+	}
+}
+
+// Node is one tree node. The four link fields realize the primitive
+// relations firstchild and nextsibling and their inverses. A zero link is
+// meaningless; absent links are NilNode.
+type Node struct {
+	// Type is the node's XPath node type.
+	Type NodeType
+	// Name is the node name: tag for elements, attribute name for
+	// attributes, prefix for namespace nodes, target for processing
+	// instructions. Empty for root, text and comment nodes.
+	Name string
+	// Data holds character content: text for text/comment nodes, the
+	// value for attribute nodes, the URI for namespace nodes, and the
+	// instruction body for processing instructions.
+	Data string
+
+	// Parent, FirstChild, NextSibling and PrevSibling encode the tree.
+	// In the abstract model attribute and namespace nodes are children:
+	// they appear on the sibling chain of their element's children,
+	// namespace nodes first, then attributes, then regular content.
+	Parent, FirstChild, NextSibling, PrevSibling NodeID
+}
+
+// IsAttrOrNS reports whether the node is of type attribute or namespace,
+// the two types that ordinary axes must filter out (Section 4).
+func (n *Node) IsAttrOrNS() bool {
+	return n.Type == Attribute || n.Type == Namespace
+}

@@ -1,0 +1,156 @@
+package xmltree
+
+import "sort"
+
+// NodeSet is a set of nodes maintained sorted in document order with no
+// duplicates — the representation of the XPath nset type. The zero value
+// is the empty set.
+type NodeSet []NodeID
+
+// NewNodeSet builds a NodeSet from arbitrary IDs, sorting and
+// deduplicating.
+func NewNodeSet(ids ...NodeID) NodeSet {
+	s := append(NodeSet(nil), ids...)
+	s.normalize()
+	return s
+}
+
+func (s *NodeSet) normalize() {
+	ns := *s
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	out := ns[:0]
+	for i, id := range ns {
+		if i == 0 || id != ns[i-1] {
+			out = append(out, id)
+		}
+	}
+	*s = out
+}
+
+// Contains reports membership using binary search.
+func (s NodeSet) Contains(id NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// IsEmpty reports whether the set is empty.
+func (s NodeSet) IsEmpty() bool { return len(s) == 0 }
+
+// First returns the first node in document order (first<doc), or NilNode
+// if the set is empty.
+func (s NodeSet) First() NodeID {
+	if len(s) == 0 {
+		return NilNode
+	}
+	return s[0]
+}
+
+// Union returns s ∪ t by sorted merge.
+func (s NodeSet) Union(t NodeSet) NodeSet {
+	if len(s) == 0 {
+		return append(NodeSet(nil), t...)
+	}
+	if len(t) == 0 {
+		return append(NodeSet(nil), s...)
+	}
+	out := make(NodeSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns s ∩ t by sorted merge.
+func (s NodeSet) Intersect(t NodeSet) NodeSet {
+	var out NodeSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns s − t by sorted merge.
+func (s NodeSet) Minus(t NodeSet) NodeSet {
+	var out NodeSet
+	j := 0
+	for _, id := range s {
+		for j < len(t) && t[j] < id {
+			j++
+		}
+		if j < len(t) && t[j] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s NodeSet) Equal(t NodeSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (s NodeSet) Clone() NodeSet { return append(NodeSet(nil), s...) }
+
+// Bitmap is a dense boolean set over dom used by the linear-time Core
+// XPath algebra (Section 10.1), where each set operation must run in
+// O(|dom|).
+type Bitmap []bool
+
+// NewBitmap returns an empty bitmap for a document of n nodes.
+func NewBitmap(n int) Bitmap { return make(Bitmap, n) }
+
+// FromNodeSet fills the bitmap with the members of s.
+func (b Bitmap) FromNodeSet(s NodeSet) Bitmap {
+	for i := range b {
+		b[i] = false
+	}
+	for _, id := range s {
+		b[id] = true
+	}
+	return b
+}
+
+// ToNodeSet converts the bitmap to a sorted NodeSet.
+func (b Bitmap) ToNodeSet() NodeSet {
+	var out NodeSet
+	for i, ok := range b {
+		if ok {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

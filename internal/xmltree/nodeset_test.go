@@ -1,0 +1,114 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NewNodeSet(5, 3, 5, 1)
+	if len(s) != 3 || s[0] != 1 || s[1] != 3 || s[2] != 5 {
+		t.Fatalf("NewNodeSet dedup/sort failed: %v", s)
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if s.First() != 1 {
+		t.Error("First wrong")
+	}
+	var empty NodeSet
+	if !empty.IsEmpty() || empty.First() != NilNode {
+		t.Error("empty set behaviour wrong")
+	}
+}
+
+func TestNodeSetOps(t *testing.T) {
+	a := NewNodeSet(1, 2, 3, 4)
+	b := NewNodeSet(3, 4, 5)
+	if got := a.Union(b); !got.Equal(NewNodeSet(1, 2, 3, 4, 5)) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewNodeSet(3, 4)) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewNodeSet(1, 2)) {
+		t.Errorf("minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(NewNodeSet(5)) {
+		t.Errorf("minus = %v", got)
+	}
+	var empty NodeSet
+	if got := a.Union(empty); !got.Equal(a) {
+		t.Errorf("union empty = %v", got)
+	}
+	if got := empty.Union(a); !got.Equal(a) {
+		t.Errorf("empty union = %v", got)
+	}
+	if got := a.Intersect(empty); !got.IsEmpty() {
+		t.Errorf("intersect empty = %v", got)
+	}
+}
+
+// genSet produces a random small NodeSet for property tests.
+func genSet(r *rand.Rand) NodeSet {
+	n := r.Intn(12)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(r.Intn(20))
+	}
+	return NewNodeSet(ids...)
+}
+
+func TestNodeSetAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genSet(r))
+			}
+		},
+	}
+	// Union is commutative and idempotent; De Morgan-ish identities via
+	// Minus; Intersect distributes over Union on these finite sets.
+	if err := quick.Check(func(a, b, c NodeSet) bool {
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(a).Equal(a) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		// a − b ⊆ a and disjoint from b
+		m := a.Minus(b)
+		if !m.Intersect(b).IsEmpty() {
+			return false
+		}
+		if !m.Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		// distributivity: a ∩ (b ∪ c) = (a∩b) ∪ (a∩c)
+		l := a.Intersect(b.Union(c))
+		rr := a.Intersect(b).Union(a.Intersect(c))
+		return l.Equal(rr)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		var ids []NodeID
+		for _, v := range raw {
+			ids = append(ids, NodeID(v%32))
+		}
+		s := NewNodeSet(ids...)
+		b := NewBitmap(32).FromNodeSet(s)
+		return b.ToNodeSet().Equal(s)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions configures XML parsing.
+type ParseOptions struct {
+	// KeepWhitespaceText retains text nodes consisting entirely of
+	// whitespace. The default (false) drops them, matching how the
+	// paper's experiments treat their synthetic documents and how XSLT
+	// processors behave under xsl:strip-space.
+	KeepWhitespaceText bool
+	// KeepComments retains comment nodes (default true behaviour is to
+	// keep them; set DropComments to discard).
+	DropComments bool
+	// IDAttributes overrides the set of attribute names treated as
+	// ID-typed for deref_ids. Nil means {"id"}.
+	IDAttributes []string
+}
+
+// Parse reads an XML document into the paper's data model using the
+// default options.
+func Parse(r io.Reader) (*Document, error) {
+	return ParseWithOptions(r, ParseOptions{})
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParseString parses a string known to be well-formed XML; it panics
+// on error. Intended for tests and examples.
+func MustParseString(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseWithOptions reads an XML document with explicit options.
+func ParseWithOptions(r io.Reader, opts ParseOptions) (*Document, error) {
+	b := NewBuilder()
+	if opts.IDAttributes != nil {
+		b.IDAttributes = map[string]bool{}
+		for _, a := range opts.IDAttributes {
+			b.IDAttributes[a] = true
+		}
+	}
+	dec := xml.NewDecoder(r)
+	// The paper's model treats names as opaque strings; we do our own
+	// prefix bookkeeping, so disable the decoder's URI rewriting by
+	// reading raw tokens (encoding/xml still expands entities).
+	// RawToken does not verify that end tags match start tags, so keep
+	// our own stack of open element names.
+	var open []string
+	sawElement := false
+	for {
+		tok, err := dec.RawToken()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.StartElement(rawName(t.Name))
+			for _, a := range t.Attr {
+				n := rawName(a.Name)
+				if n == "xmlns" {
+					b.NamespaceNode("", a.Value)
+				} else if strings.HasPrefix(n, "xmlns:") {
+					b.NamespaceNode(strings.TrimPrefix(n, "xmlns:"), a.Value)
+				} else {
+					b.Attribute(n, a.Value)
+				}
+			}
+			open = append(open, rawName(t.Name))
+			sawElement = true
+		case xml.EndElement:
+			name := rawName(t.Name)
+			if len(open) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unexpected </%s>", name)
+			}
+			if open[len(open)-1] != name {
+				return nil, fmt.Errorf("xmltree: parse: </%s> closes <%s>", name, open[len(open)-1])
+			}
+			open = open[:len(open)-1]
+			b.EndElement()
+		case xml.CharData:
+			s := string(t)
+			if len(open) == 0 {
+				// Whitespace between the prolog and the document
+				// element is not part of the tree.
+				if strings.TrimSpace(s) == "" {
+					continue
+				}
+				return nil, fmt.Errorf("xmltree: parse: text outside document element")
+			}
+			if !opts.KeepWhitespaceText && strings.TrimSpace(s) == "" {
+				continue
+			}
+			b.Text(s)
+		case xml.Comment:
+			if !opts.DropComments {
+				b.Comment(string(t))
+			}
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue // the XML declaration is not a node
+			}
+			b.ProcInst(t.Target, string(t.Inst))
+		case xml.Directive:
+			// DOCTYPE etc.; the data model does not represent these.
+		}
+	}
+	if len(open) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: %d unclosed element(s)", len(open))
+	}
+	if !sawElement {
+		return nil, fmt.Errorf("xmltree: parse: no document element")
+	}
+	return b.Done()
+}
+
+func rawName(n xml.Name) string {
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}

@@ -1,0 +1,103 @@
+package xmltree
+
+import (
+	"io"
+	"strings"
+)
+
+// WriteXML serializes the document back to XML. The output is a
+// well-formed document reproducing the tree's structure; it is intended
+// for debugging and for materializing synthetic workloads on disk.
+func (d *Document) WriteXML(w io.Writer) error {
+	sw := &stickyWriter{w: w}
+	for c := d.nodes[0].FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+		d.writeNode(sw, c)
+	}
+	return sw.err
+}
+
+// XMLString serializes the document to a string.
+func (d *Document) XMLString() string {
+	var b strings.Builder
+	_ = d.WriteXML(&b)
+	return b.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) str(v string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, v)
+	}
+}
+
+func (d *Document) writeNode(w *stickyWriter, id NodeID) {
+	n := &d.nodes[id]
+	switch n.Type {
+	case Element:
+		w.str("<")
+		w.str(n.Name)
+		hasContent := false
+		for c := n.FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+			switch d.nodes[c].Type {
+			case Attribute:
+				w.str(" ")
+				w.str(d.nodes[c].Name)
+				w.str(`="`)
+				w.str(escapeAttr(d.nodes[c].Data))
+				w.str(`"`)
+			case Namespace:
+				w.str(" xmlns")
+				if d.nodes[c].Name != "" {
+					w.str(":")
+					w.str(d.nodes[c].Name)
+				}
+				w.str(`="`)
+				w.str(escapeAttr(d.nodes[c].Data))
+				w.str(`"`)
+			default:
+				hasContent = true
+			}
+		}
+		if !hasContent {
+			w.str("/>")
+			return
+		}
+		w.str(">")
+		for c := n.FirstChild; c != NilNode; c = d.nodes[c].NextSibling {
+			if !d.nodes[c].IsAttrOrNS() {
+				d.writeNode(w, c)
+			}
+		}
+		w.str("</")
+		w.str(n.Name)
+		w.str(">")
+	case Text:
+		w.str(escapeText(n.Data))
+	case Comment:
+		w.str("<!--")
+		w.str(n.Data)
+		w.str("-->")
+	case ProcInst:
+		w.str("<?")
+		w.str(n.Name)
+		if n.Data != "" {
+			w.str(" ")
+			w.str(n.Data)
+		}
+		w.str("?>")
+	}
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,319 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig8 is the sample XML document of Figure 8 in the paper.
+const fig8 = `<?xml version="1.0"?>
+<a id="10">
+  <b id="11">
+    <c id="12">21 22</c>
+    <c id="13">23 24</c>
+    <d id="14">100</d>
+  </b>
+  <b id="21">
+    <c id="22">11 12</c>
+    <d id="23">13 14</d>
+    <d id="24">100</d>
+  </b>
+</a>`
+
+func mustParse(t *testing.T, s string) *Document {
+	t.Helper()
+	d, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return d
+}
+
+func TestParseDoc4(t *testing.T) {
+	// DOC(4) of Section 2: <a><b/><b/><b/><b/></a> has 6 nodes
+	// including the root (Example 4.1).
+	d := mustParse(t, "<a><b/><b/><b/><b/></a>")
+	if d.Len() != 6 {
+		t.Fatalf("DOC(4) node count = %d, want 6", d.Len())
+	}
+	if d.Type(0) != Root {
+		t.Errorf("node 0 type = %v, want root", d.Type(0))
+	}
+	a := d.DocumentElement()
+	if d.Name(a) != "a" {
+		t.Errorf("document element name = %q, want a", d.Name(a))
+	}
+	kids := d.Children(a)
+	if len(kids) != 4 {
+		t.Fatalf("children of a = %d, want 4", len(kids))
+	}
+	for _, k := range kids {
+		if d.Name(k) != "b" || d.Type(k) != Element {
+			t.Errorf("child %d: name=%q type=%v, want b/element", k, d.Name(k), d.Type(k))
+		}
+	}
+}
+
+func TestPrimitiveRelations(t *testing.T) {
+	d := mustParse(t, "<a><b/><b/></a>")
+	a := d.DocumentElement()
+	b1 := d.FirstChild(a)
+	b2 := d.NextSibling(b1)
+	if b1 == NilNode || b2 == NilNode {
+		t.Fatal("missing children")
+	}
+	if d.NextSibling(b2) != NilNode {
+		t.Error("b2 should have no next sibling")
+	}
+	if d.PrevSibling(b2) != b1 {
+		t.Error("nextsibling inverse broken")
+	}
+	if d.FirstChildInv(b1) != a {
+		t.Error("firstchild inverse of first child should be parent")
+	}
+	if d.FirstChildInv(b2) != NilNode {
+		t.Error("firstchild inverse of non-first child should be nil")
+	}
+	if d.Parent(b1) != a || d.Parent(b2) != a {
+		t.Error("parent links broken")
+	}
+	if d.Parent(d.RootID()) != NilNode {
+		t.Error("root parent should be nil")
+	}
+}
+
+func TestDocumentOrderIsArenaOrder(t *testing.T) {
+	d := mustParse(t, "<a><b><c/></b><d/></a>")
+	// Opening-tag order: root, a, b, c, d.
+	names := []string{"", "a", "b", "c", "d"}
+	if d.Len() != 5 {
+		t.Fatalf("len = %d, want 5", d.Len())
+	}
+	for i, want := range names {
+		if d.Name(NodeID(i)) != want {
+			t.Errorf("node %d name = %q, want %q", i, d.Name(NodeID(i)), want)
+		}
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	d := mustParse(t, `<a>one<b>two</b><c><d>three</d></c>four</a>`)
+	a := d.DocumentElement()
+	if got := d.StringValue(a); got != "onetwothreefour" {
+		t.Errorf("strval(a) = %q", got)
+	}
+	if got := d.StringValue(d.RootID()); got != "onetwothreefour" {
+		t.Errorf("strval(root) = %q", got)
+	}
+	b := d.Children(a)[1]
+	if got := d.StringValue(b); got != "two" {
+		t.Errorf("strval(b) = %q", got)
+	}
+	// Memoized second call must agree.
+	if got := d.StringValue(a); got != "onetwothreefour" {
+		t.Errorf("memoized strval(a) = %q", got)
+	}
+}
+
+func TestAttributesAndIDs(t *testing.T) {
+	d := mustParse(t, fig8)
+	a := d.DocumentElement()
+	if v, ok := d.Attr(a, "id"); !ok || v != "10" {
+		t.Errorf("a/@id = %q, %v", v, ok)
+	}
+	// Figure 8 has 10 element/root nodes plus 9 attribute nodes plus
+	// 6 text nodes = 25 total.
+	if d.Len() != 25 {
+		t.Errorf("node count = %d, want 25", d.Len())
+	}
+	x14 := d.IDOf("14")
+	if x14 == NilNode || d.Name(x14) != "d" {
+		t.Fatalf("IDOf(14) = %v (%s)", x14, d.Name(x14))
+	}
+	if got := d.StringValue(x14); got != "100" {
+		t.Errorf("strval(x14) = %q", got)
+	}
+	set := d.DerefIDs("14 23  99  12")
+	if len(set) != 3 {
+		t.Fatalf("DerefIDs = %v, want 3 nodes", set)
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i-1] >= set[i] {
+			t.Error("DerefIDs result not in document order")
+		}
+	}
+}
+
+func TestRefRelation(t *testing.T) {
+	// The example under Theorem 10.7: <t id=1> 3 <t id=2> 1 </t>
+	// <t id=3> 1 2 </t> </t> gives ref = {(n1,n3),(n2,n1),(n3,n1),(n3,n2)}.
+	d := mustParse(t, `<t id="1"> 3 <t id="2"> 1 </t><t id="3"> 1 2 </t></t>`)
+	n1, n2, n3 := d.IDOf("1"), d.IDOf("2"), d.IDOf("3")
+	if n1 == NilNode || n2 == NilNode || n3 == NilNode {
+		t.Fatal("ids not indexed")
+	}
+	check := func(x NodeID, want []NodeID) {
+		t.Helper()
+		got := d.Ref(x)
+		if len(got) != len(want) {
+			t.Fatalf("ref(%v) = %v, want %v", x, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ref(%v) = %v, want %v", x, got, want)
+			}
+		}
+	}
+	check(n1, []NodeID{n3})
+	check(n2, []NodeID{n1})
+	check(n3, []NodeID{n1, n2})
+	if got := d.RefInv(n1); len(got) != 2 {
+		t.Errorf("refInv(n1) = %v, want 2 entries", got)
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	d := mustParse(t, `<a><!--note--><?target body?><b/></a>`)
+	a := d.DocumentElement()
+	kids := d.Children(a)
+	if len(kids) != 3 {
+		t.Fatalf("children = %d, want 3", len(kids))
+	}
+	if d.Type(kids[0]) != Comment || d.StringValue(kids[0]) != "note" {
+		t.Errorf("comment node wrong: %v %q", d.Type(kids[0]), d.StringValue(kids[0]))
+	}
+	if d.Type(kids[1]) != ProcInst || d.Name(kids[1]) != "target" {
+		t.Errorf("PI node wrong: %v %q", d.Type(kids[1]), d.Name(kids[1]))
+	}
+	if d.Type(kids[2]) != Element {
+		t.Errorf("element child wrong: %v", d.Type(kids[2]))
+	}
+}
+
+func TestNamespaceNodes(t *testing.T) {
+	d := mustParse(t, `<a xmlns:p="urn:x" p:q="v"><p:b/></a>`)
+	a := d.DocumentElement()
+	var nsCount, attrCount int
+	for c := d.FirstChild(a); c != NilNode; c = d.NextSibling(c) {
+		switch d.Type(c) {
+		case Namespace:
+			nsCount++
+			if d.Name(c) != "p" || d.Node(c).Data != "urn:x" {
+				t.Errorf("namespace node = %q %q", d.Name(c), d.Node(c).Data)
+			}
+		case Attribute:
+			attrCount++
+			if d.Name(c) != "p:q" {
+				t.Errorf("attribute name = %q", d.Name(c))
+			}
+		}
+	}
+	if nsCount != 1 || attrCount != 1 {
+		t.Errorf("ns=%d attr=%d, want 1/1", nsCount, attrCount)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<a>",
+		"<a></b>",
+		"just text",
+		"<a></a><b></b>", // two document elements is accepted by RawToken; ensure well-formedness of each
+	}
+	for _, c := range cases[:4] {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q): expected error", c)
+		}
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	src := "<a>\n  <b/>\n</a>"
+	d := mustParse(t, src)
+	if got := len(d.Children(d.DocumentElement())); got != 1 {
+		t.Errorf("default parse children = %d, want 1 (whitespace dropped)", got)
+	}
+	d2, err := ParseWithOptions(strings.NewReader(src), ParseOptions{KeepWhitespaceText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d2.Children(d2.DocumentElement())); got != 3 {
+		t.Errorf("keep-ws parse children = %d, want 3", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	src := `<a id="10"><b>x &amp; y</b><!--c--><?pi data?><c/></a>`
+	d := mustParse(t, src)
+	out := d.XMLString()
+	d2 := mustParse(t, out)
+	if d.Len() != d2.Len() {
+		t.Fatalf("round trip node count %d != %d\nout=%s", d.Len(), d2.Len(), out)
+	}
+	for i := 0; i < d.Len(); i++ {
+		n1, n2 := d.Node(NodeID(i)), d2.Node(NodeID(i))
+		if n1.Type != n2.Type || n1.Name != n2.Name || n1.Data != n2.Data {
+			t.Errorf("node %d differs: %+v vs %+v", i, n1, n2)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("a")
+	if _, err := b.Done(); err == nil {
+		t.Error("Done with open element should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EndElement at root should panic")
+		}
+	}()
+	NewBuilder().EndElement()
+}
+
+func TestNodeTypeStrings(t *testing.T) {
+	want := map[NodeType]string{
+		Root: "root", Element: "element", Text: "text", Comment: "comment",
+		Attribute: "attribute", Namespace: "namespace",
+		ProcInst: "processing-instruction",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), s)
+		}
+	}
+	if !Element.HasName() || Text.HasName() || Comment.HasName() || Root.HasName() {
+		t.Error("HasName wrong")
+	}
+}
+
+func TestLang(t *testing.T) {
+	d := mustParse(t, `<a xml:lang="en"><b><c/></b><d xml:lang="de"/></a>`)
+	a := d.DocumentElement()
+	kids := d.Children(a)
+	b := kids[0]
+	c := d.Children(b)[0]
+	dd := kids[1]
+	if d.Lang(c) != "en" {
+		t.Errorf("lang(c) = %q, want en", d.Lang(c))
+	}
+	if d.Lang(dd) != "de" {
+		t.Errorf("lang(d) = %q, want de", d.Lang(dd))
+	}
+}
+
+func TestNames(t *testing.T) {
+	d := mustParse(t, `<a><b/><c/><b/></a>`)
+	got := d.Names()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}

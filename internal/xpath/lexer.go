@@ -1,0 +1,225 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokLiteral
+	tokName   // NCName or QName (also axis/function/operator names pre-disambiguation)
+	tokStar   // * as a wildcard name test
+	tokMul    // * as the multiply operator
+	tokSlash  // /
+	tokSlash2 // //
+	tokPipe
+	tokPlus
+	tokMinus
+	tokEq
+	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAnd
+	tokOr
+	tokDiv
+	tokMod
+	tokAt
+	tokAxisSep // ::
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokDot
+	tokDotDot
+	tokComma
+	tokDollar
+)
+
+type token struct {
+	kind tokenKind
+	text string  // name or literal content
+	num  float64 // number value
+	pos  int     // byte offset in the query, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokNumber:
+		return strconv.FormatFloat(t.num, 'f', -1, 64)
+	case tokLiteral:
+		return "'" + t.text + "'"
+	case tokName:
+		return t.text
+	default:
+		for s, k := range fixedTokens {
+			if k == t.kind {
+				return s
+			}
+		}
+		switch t.kind {
+		case tokStar, tokMul:
+			return "*"
+		case tokAnd:
+			return "and"
+		case tokOr:
+			return "or"
+		case tokDiv:
+			return "div"
+		case tokMod:
+			return "mod"
+		}
+		return fmt.Sprintf("token(%d)", t.kind)
+	}
+}
+
+var fixedTokens = map[string]tokenKind{
+	"//": tokSlash2, "/": tokSlash, "|": tokPipe, "+": tokPlus,
+	"-": tokMinus, "=": tokEq, "!=": tokNeq, "<=": tokLe, "<": tokLt,
+	">=": tokGe, ">": tokGt, "@": tokAt, "::": tokAxisSep,
+	"(": tokLParen, ")": tokRParen, "[": tokLBracket, "]": tokRBracket,
+	"..": tokDotDot, ",": tokComma, "$": tokDollar,
+}
+
+// lex tokenizes an XPath query, applying the disambiguation rules of the
+// XPath 1.0 Recommendation §3.7: if the preceding token is not @, ::, (,
+// [, ',' or an operator, then * is the multiply operator and an NCName
+// that spells and/or/div/mod is an operator name.
+func lex(src string) ([]token, error) {
+	var toks []token
+	precedesOperand := func() bool {
+		// Reports whether the *next* token is in operand position —
+		// i.e. there is no preceding token, or the preceding token is
+		// @, ::, (, [, ',' or an operator.
+		if len(toks) == 0 {
+			return true
+		}
+		switch toks[len(toks)-1].kind {
+		case tokAt, tokAxisSep, tokLParen, tokLBracket, tokComma,
+			tokAnd, tokOr, tokDiv, tokMod, tokMul,
+			tokSlash, tokSlash2, tokPipe, tokPlus, tokMinus,
+			tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+			return true
+		default:
+			return false
+		}
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			j := strings.IndexByte(src[i+1:], c)
+			if j < 0 {
+				return nil, fmt.Errorf("xpath: unterminated literal at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokLiteral, text: src[i+1 : i+1+j], pos: i})
+			i += j + 2
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			v, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("xpath: bad number %q at offset %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, pos: i})
+			i = j
+		case c == '.':
+			if i+1 < len(src) && src[i+1] == '.' {
+				toks = append(toks, token{kind: tokDotDot, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokDot, pos: i})
+				i++
+			}
+		case c == '*':
+			if precedesOperand() {
+				toks = append(toks, token{kind: tokStar, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokMul, pos: i})
+			}
+			i++
+		case isNameStart(rune(c)):
+			j := i
+			for j < len(src) && isNameChar(rune(src[j])) {
+				j++
+			}
+			name := src[i:j]
+			// QName / prefixed wildcard: name ':' name or name ':*'
+			// but not name '::' (axis separator).
+			if j+1 < len(src) && src[j] == ':' && src[j+1] != ':' {
+				if src[j+1] == '*' {
+					name = src[i:j] + ":*"
+					j += 2
+				} else if isNameStart(rune(src[j+1])) {
+					k := j + 1
+					for k < len(src) && isNameChar(rune(src[k])) {
+						k++
+					}
+					name = src[i:k]
+					j = k
+				}
+			}
+			if !precedesOperand() {
+				switch name {
+				case "and":
+					toks = append(toks, token{kind: tokAnd, pos: i})
+					i = j
+					continue
+				case "or":
+					toks = append(toks, token{kind: tokOr, pos: i})
+					i = j
+					continue
+				case "div":
+					toks = append(toks, token{kind: tokDiv, pos: i})
+					i = j
+					continue
+				case "mod":
+					toks = append(toks, token{kind: tokMod, pos: i})
+					i = j
+					continue
+				}
+			}
+			toks = append(toks, token{kind: tokName, text: name, pos: i})
+			i = j
+		default:
+			matched := false
+			for _, pat := range []string{"//", "::", "!=", "<=", ">=", "/",
+				"|", "+", "-", "=", "<", ">", "@", "(", ")", "[", "]", ",", "$"} {
+				if strings.HasPrefix(src[i:], pat) {
+					toks = append(toks, token{kind: fixedTokens[pat], pos: i})
+					i += len(pat)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("xpath: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,27 @@
+package xpatterns
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// MatchSet computes the nodes matching an XPatterns pattern in the
+// XSLT-template sense: n matches π iff some context node selects n via
+// π. Runs in linear time by one forward pass over all of dom.
+func (ev *Evaluator) MatchSet(e xpath.Expr) (xmltree.NodeSet, error) {
+	if !InFragment(e) {
+		return nil, fmt.Errorf("xpatterns: pattern %s not in the XPatterns fragment", e)
+	}
+	return ev.EvaluateSet(e, ev.dom())
+}
+
+// Matches reports whether one node matches the pattern.
+func (ev *Evaluator) Matches(e xpath.Expr, n xmltree.NodeID) (bool, error) {
+	s, err := ev.MatchSet(e)
+	if err != nil {
+		return false, err
+	}
+	return s.Contains(n), nil
+}

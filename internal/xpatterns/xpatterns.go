@@ -1,0 +1,482 @@
+// Package xpatterns implements the XPatterns language of Section 10.2:
+// the smallest language subsuming Core XPath and the XSLT Patterns of
+// the December 1998 draft (minus first-of-type/last-of-type, which XPath
+// cannot express) that is syntactically contained in XPath. XPatterns
+// extends Core XPath with:
+//
+//   - the "id" axis (Theorem 10.7), realized through the document's
+//     precomputed ref relation, in both directions;
+//   - the "=s" unary predicates of Table VI: comparisons of a path's
+//     target with a constant string or number, propagated backwards from
+//     the precomputed extension {y | strval(y) = s};
+//   - the remaining Table VI unary predicates (@n, @*, text(),
+//     comment(), pi(n), first-of-any, last-of-any) — the attribute and
+//     kind tests arrive naturally through the step grammar, and
+//     first-of-any/last-of-any (plus the XSLT'98-only first-of-type and
+//     last-of-type) are exposed as precomputed node sets.
+//
+// Everything remains O(|D|·|Q|) (Theorem 10.8).
+package xpatterns
+
+import (
+	"fmt"
+
+	"repro/internal/axes"
+	"repro/internal/evalutil"
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Evaluator evaluates XPatterns queries over one document.
+type Evaluator struct {
+	doc *xmltree.Document
+
+	// strvalSets caches {y | strval(y) = s} per constant.
+	strvalSets map[string]xmltree.NodeSet
+}
+
+// New returns an XPatterns evaluator for the document.
+func New(d *xmltree.Document) *Evaluator {
+	return &Evaluator{doc: d, strvalSets: map[string]xmltree.NodeSet{}}
+}
+
+// InFragment reports whether a normalized query is an XPatterns query.
+func InFragment(e xpath.Expr) bool { return isPattern(e) }
+
+func isPattern(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Path:
+		if x.Filter != nil && !isIDHead(x.Filter) {
+			return false
+		}
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				if !isPatternPred(p) {
+					return false
+				}
+			}
+		}
+		return true
+	case *xpath.Binary:
+		return x.Op == xpath.OpUnion && isPattern(x.Left) && isPattern(x.Right)
+	case *xpath.Call:
+		// A bare id('c') or id(π) query.
+		return isIDHead(e)
+	default:
+		return false
+	}
+}
+
+// isIDHead recognizes id(c) and id(π) heads, possibly nested
+// (id(id(…))), where the innermost argument is a constant string or an
+// XPatterns path.
+func isIDHead(e xpath.Expr) bool {
+	c, ok := e.(*xpath.Call)
+	if !ok || c.Name != "id" || len(c.Args) != 1 {
+		return false
+	}
+	switch a := c.Args[0].(type) {
+	case *xpath.Literal:
+		return true
+	case *xpath.Call:
+		return isIDHead(a)
+	default:
+		return isPattern(a)
+	}
+}
+
+func isPatternPred(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.Binary:
+		switch x.Op {
+		case xpath.OpAnd, xpath.OpOr:
+			return isPatternPred(x.Left) && isPatternPred(x.Right)
+		case xpath.OpEq:
+			// The "=s" unary predicate: path = constant (either side).
+			return isEqS(x.Left, x.Right) || isEqS(x.Right, x.Left)
+		default:
+			return false
+		}
+	case *xpath.Call:
+		switch x.Name {
+		case "not", "boolean":
+			if isPatternPred(x.Args[0]) {
+				return true
+			}
+			return isPattern(x.Args[0])
+		case "true", "false",
+			"first-of-any", "last-of-any", "first-of-type", "last-of-type":
+			return true
+		}
+		return false
+	case *xpath.Path:
+		return isPattern(e)
+	default:
+		return false
+	}
+}
+
+func isEqS(pathSide, constSide xpath.Expr) bool {
+	switch constSide.(type) {
+	case *xpath.Literal, *xpath.Number:
+	default:
+		return false
+	}
+	return isPattern(pathSide)
+}
+
+// Evaluate computes the query for a single context node.
+func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	s, err := ev.EvaluateSet(e, xmltree.NodeSet{c.Node})
+	if err != nil {
+		return semantics.Value{}, err
+	}
+	return semantics.NodeSet(s), nil
+}
+
+// EvaluateSet computes the forward semantics S→ extended with the id
+// axis for a set of context nodes.
+func (ev *Evaluator) EvaluateSet(e xpath.Expr, n0 xmltree.NodeSet) (xmltree.NodeSet, error) {
+	switch x := e.(type) {
+	case *xpath.Binary:
+		if x.Op != xpath.OpUnion {
+			return nil, fmt.Errorf("xpatterns: not an XPatterns query: %s", e)
+		}
+		l, err := ev.EvaluateSet(x.Left, n0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.EvaluateSet(x.Right, n0)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
+	case *xpath.Call:
+		return ev.evalIDHead(x, n0)
+	case *xpath.Path:
+		cur := n0
+		if x.Filter != nil {
+			head, err := ev.evalIDHead(x.Filter, n0)
+			if err != nil {
+				return nil, err
+			}
+			cur = head
+		} else if x.Absolute {
+			cur = xmltree.NodeSet{ev.doc.RootID()}
+		}
+		for _, step := range x.Steps {
+			cur = evalutil.StepCandidatesSet(ev.doc, step.Axis, step.Test, cur)
+			for _, p := range step.Preds {
+				e1, err := ev.e1(p)
+				if err != nil {
+					return nil, err
+				}
+				cur = cur.Intersect(e1)
+			}
+		}
+		return cur, nil
+	default:
+		return nil, fmt.Errorf("xpatterns: not an XPatterns query: %s", e)
+	}
+}
+
+// evalIDHead evaluates an id(…) head: π1/id(π2)/π3 is treated as
+// π1/π2/id/π3 (Lemma 10.6), and id('c') starts from the constant's
+// extension.
+func (ev *Evaluator) evalIDHead(e xpath.Expr, n0 xmltree.NodeSet) (xmltree.NodeSet, error) {
+	c, ok := e.(*xpath.Call)
+	if !ok || c.Name != "id" {
+		return nil, fmt.Errorf("xpatterns: unsupported path head %s", e)
+	}
+	switch a := c.Args[0].(type) {
+	case *xpath.Literal:
+		return ev.doc.DerefIDs(a.Val), nil
+	case *xpath.Call:
+		inner, err := ev.evalIDHead(a, n0)
+		if err != nil {
+			return nil, err
+		}
+		return axes.EvalID(ev.doc, inner), nil
+	default:
+		inner, err := ev.EvaluateSet(a, n0)
+		if err != nil {
+			return nil, err
+		}
+		return axes.EvalID(ev.doc, inner), nil
+	}
+}
+
+func (ev *Evaluator) dom() xmltree.NodeSet {
+	s := make(xmltree.NodeSet, ev.doc.Len())
+	for i := range s {
+		s[i] = xmltree.NodeID(i)
+	}
+	return s
+}
+
+// e1 computes the extension of an XPatterns predicate.
+func (ev *Evaluator) e1(e xpath.Expr) (xmltree.NodeSet, error) {
+	switch x := e.(type) {
+	case *xpath.Binary:
+		switch x.Op {
+		case xpath.OpAnd, xpath.OpOr:
+			l, err := ev.e1(x.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ev.e1(x.Right)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == xpath.OpAnd {
+				return l.Intersect(r), nil
+			}
+			return l.Union(r), nil
+		case xpath.OpEq:
+			if isEqS(x.Left, x.Right) {
+				return ev.eqS(x.Left, x.Right)
+			}
+			if isEqS(x.Right, x.Left) {
+				return ev.eqS(x.Right, x.Left)
+			}
+			return nil, fmt.Errorf("xpatterns: comparison %s not in fragment", e)
+		default:
+			return nil, fmt.Errorf("xpatterns: operator %v not in fragment", x.Op)
+		}
+	case *xpath.Call:
+		switch x.Name {
+		case "not":
+			inner, err := ev.e1(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return ev.dom().Minus(inner), nil
+		case "boolean":
+			return ev.e1(x.Args[0])
+		case "true":
+			return ev.dom(), nil
+		case "false":
+			return nil, nil
+		case "id":
+			// Existential id(…) head inside a predicate.
+			return ev.sBackIDHead(x, ev.dom())
+		default:
+			if s, ok := ev.unaryPredicateSet(x.Name); ok {
+				return s, nil
+			}
+			return nil, fmt.Errorf("xpatterns: function %s not in fragment", x.Name)
+		}
+	case *xpath.Path:
+		return ev.sBack(x, nil)
+	default:
+		return nil, fmt.Errorf("xpatterns: predicate %s not in fragment", e)
+	}
+}
+
+// eqS computes the extension of [π = c]: the nodes from which π reaches
+// a node whose string value equals the constant.
+func (ev *Evaluator) eqS(pathSide, constSide xpath.Expr) (xmltree.NodeSet, error) {
+	var target xmltree.NodeSet
+	switch c := constSide.(type) {
+	case *xpath.Literal:
+		target = ev.strvalEquals(c.Val)
+	case *xpath.Number:
+		target = ev.strvalEqualsNumber(c.Val)
+	default:
+		return nil, fmt.Errorf("xpatterns: non-constant comparison %s", constSide)
+	}
+	p, ok := pathSide.(*xpath.Path)
+	if !ok {
+		return nil, fmt.Errorf("xpatterns: comparison lhs %s not a path", pathSide)
+	}
+	return ev.sBack(p, target)
+}
+
+// strvalEquals computes (and caches) {y | strval(y) = s}: the "=s" unary
+// predicate of Table VI, "computed using string search in the document".
+func (ev *Evaluator) strvalEquals(s string) xmltree.NodeSet {
+	if set, ok := ev.strvalSets[s]; ok {
+		return set
+	}
+	var out xmltree.NodeSet
+	for i := 0; i < ev.doc.Len(); i++ {
+		if ev.doc.StringValue(xmltree.NodeID(i)) == s {
+			out = append(out, xmltree.NodeID(i))
+		}
+	}
+	ev.strvalSets[s] = out
+	return out
+}
+
+func (ev *Evaluator) strvalEqualsNumber(v float64) xmltree.NodeSet {
+	var out xmltree.NodeSet
+	for i := 0; i < ev.doc.Len(); i++ {
+		if semantics.StringToNumber(ev.doc.StringValue(xmltree.NodeID(i))) == v {
+			out = append(out, xmltree.NodeID(i))
+		}
+	}
+	return out
+}
+
+// sBack propagates backwards through a path. With a nil target it
+// computes S←[[π]] (existence); with a target set it computes the nodes
+// from which π reaches a target node — the generalization needed by the
+// "=s" predicates.
+func (ev *Evaluator) sBack(p *xpath.Path, target xmltree.NodeSet) (xmltree.NodeSet, error) {
+	cur := target
+	if cur == nil {
+		cur = ev.dom()
+	}
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		step := p.Steps[i]
+		s := evalutil.FilterTest(ev.doc, step.Axis, step.Test, cur)
+		for _, pr := range step.Preds {
+			e1, err := ev.e1(pr)
+			if err != nil {
+				return nil, err
+			}
+			s = s.Intersect(e1)
+		}
+		cur = axes.EvalInverse(ev.doc, step.Axis, s)
+	}
+	if p.Filter != nil {
+		return ev.sBackIDHead(p.Filter, cur)
+	}
+	if p.Absolute {
+		if cur.Contains(ev.doc.RootID()) {
+			return ev.dom(), nil
+		}
+		return nil, nil
+	}
+	return cur, nil
+}
+
+// sBackIDHead propagates a backward set through an id(…) head: for
+// id('c') the result is context-independent (dom or ∅); for id(π) the
+// propagation continues through id⁻¹ and then π.
+func (ev *Evaluator) sBackIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.NodeSet, error) {
+	c, ok := e.(*xpath.Call)
+	if !ok || c.Name != "id" {
+		return nil, fmt.Errorf("xpatterns: unsupported path head %s", e)
+	}
+	switch a := c.Args[0].(type) {
+	case *xpath.Literal:
+		if !xmltree.NodeSet(ev.doc.DerefIDs(a.Val)).Intersect(cur).IsEmpty() {
+			return ev.dom(), nil
+		}
+		return nil, nil
+	case *xpath.Call:
+		back := axes.EvalIDInverse(ev.doc, cur)
+		return ev.sBackIDHead(a, back)
+	case *xpath.Path:
+		back := axes.EvalIDInverse(ev.doc, cur)
+		return ev.sBack(a, back)
+	default:
+		return nil, fmt.Errorf("xpatterns: unsupported id argument %s", a)
+	}
+}
+
+// ------------------------------------------------------------------
+// XSLT'98 unary predicates (Table VI / Theorem 10.8)
+// ------------------------------------------------------------------
+
+// FirstOfAny returns {y ∈ dom | y has no preceding sibling}: the
+// first-of-any unary predicate. Attribute and namespace nodes are not
+// part of the sibling order here.
+func (ev *Evaluator) FirstOfAny() xmltree.NodeSet {
+	return ev.siblingBoundary(true, nil)
+}
+
+// LastOfAny returns {x ∈ dom | x has no following sibling}.
+func (ev *Evaluator) LastOfAny() xmltree.NodeSet {
+	return ev.siblingBoundary(false, nil)
+}
+
+// FirstOfType returns the first-of-type() predicate of Theorem 10.8:
+// elements with no preceding sibling of the same name. Computable in
+// O(|D|·|Σ|); this implementation is O(|D|) by scanning sibling lists.
+func (ev *Evaluator) FirstOfType() xmltree.NodeSet {
+	seen := map[string]bool{}
+	return ev.siblingBoundary(true, seen)
+}
+
+// LastOfType returns elements with no following sibling of the same
+// name.
+func (ev *Evaluator) LastOfType() xmltree.NodeSet {
+	seen := map[string]bool{}
+	return ev.siblingBoundary(false, seen)
+}
+
+// siblingBoundary scans every sibling list once, considering element
+// children only (the '98 draft's patterns address elements). With
+// byType nil it marks the first (or last) element child of each parent;
+// with a map it marks the first (or last) element child per tag name.
+// Total work is O(|D|), realizing the Theorem 10.8 precomputation.
+func (ev *Evaluator) siblingBoundary(first bool, byType map[string]bool) xmltree.NodeSet {
+	var out []xmltree.NodeID
+	for i := 0; i < ev.doc.Len(); i++ {
+		p := xmltree.NodeID(i)
+		ty := ev.doc.Type(p)
+		if ty != xmltree.Element && ty != xmltree.Root {
+			continue
+		}
+		var kids []xmltree.NodeID
+		for _, k := range ev.doc.Children(p) {
+			if ev.doc.Type(k) == xmltree.Element {
+				kids = append(kids, k)
+			}
+		}
+		if len(kids) == 0 {
+			continue
+		}
+		if byType == nil {
+			if first {
+				out = append(out, kids[0])
+			} else {
+				out = append(out, kids[len(kids)-1])
+			}
+			continue
+		}
+		// Per-type boundaries: scan forward (or backward) remembering
+		// which names were already seen among these siblings.
+		for k := range byType {
+			delete(byType, k)
+		}
+		idxs := make([]int, len(kids))
+		for j := range kids {
+			idxs[j] = j
+		}
+		if !first {
+			for l, r := 0, len(idxs)-1; l < r; l, r = l+1, r-1 {
+				idxs[l], idxs[r] = idxs[r], idxs[l]
+			}
+		}
+		for _, j := range idxs {
+			k := kids[j]
+			name := ev.doc.Name(k)
+			if !byType[name] {
+				byType[name] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return xmltree.NewNodeSet(out...)
+}
+
+// unaryPredicateSet resolves an XSLT'98 predicate function name to its
+// precomputed extension.
+func (ev *Evaluator) unaryPredicateSet(name string) (xmltree.NodeSet, bool) {
+	switch name {
+	case "first-of-any":
+		return ev.FirstOfAny(), true
+	case "last-of-any":
+		return ev.LastOfAny(), true
+	case "first-of-type":
+		return ev.FirstOfType(), true
+	case "last-of-type":
+		return ev.LastOfType(), true
+	default:
+		return nil, false
+	}
+}
