@@ -18,11 +18,14 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/bottomup"
+	"repro/internal/core"
 	"repro/internal/corexpath"
 	"repro/internal/datapool"
+	"repro/internal/engine"
 	"repro/internal/mincontext"
 	"repro/internal/naive"
 	"repro/internal/semantics"
@@ -38,11 +41,11 @@ func rootCtx(d *xmltree.Document) semantics.Context {
 	return semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}
 }
 
-type engine interface {
+type evaluator interface {
 	Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error)
 }
 
-func benchQuery(b *testing.B, eng engine, d *xmltree.Document, query string) {
+func benchQuery(b *testing.B, eng evaluator, d *xmltree.Document, query string) {
 	b.Helper()
 	e, err := xpath.Parse(query)
 	if err != nil {
@@ -246,7 +249,7 @@ func BenchmarkTable7IE6Model(b *testing.B) {
 func BenchmarkEnginesGeneral(b *testing.B) {
 	d := workload.Catalog(100)
 	const q = "//product[count(child::*) > 2]/child::name"
-	engines := map[string]engine{
+	engines := map[string]evaluator{
 		"naive":         naive.New(d),
 		"topdown":       topdown.New(d),
 		"mincontext":    mincontext.New(d),
@@ -265,7 +268,7 @@ func BenchmarkEnginesGeneral(b *testing.B) {
 func BenchmarkFragmentsCoreXPath(b *testing.B) {
 	d := workload.Catalog(1000)
 	const q = "//product[child::discontinued]/child::name"
-	engines := map[string]engine{
+	engines := map[string]evaluator{
 		"corexpath":     corexpath.New(d),
 		"xpatterns":     xpatterns.New(d),
 		"topdown":       topdown.New(d),
@@ -284,7 +287,7 @@ func BenchmarkFragmentsCoreXPath(b *testing.B) {
 func BenchmarkFragmentsWadler(b *testing.B) {
 	d := workload.Catalog(500)
 	const q = "//product[child::price = 10 and position() != last()]"
-	engines := map[string]engine{
+	engines := map[string]evaluator{
 		"optmincontext": wadler.New(d),
 		"mincontext":    mincontext.New(d),
 		"topdown":       topdown.New(d),
@@ -303,6 +306,77 @@ func BenchmarkAxes(b *testing.B) {
 	for _, q := range []string{"//*", "//*/following::*", "//*/ancestor::*"} {
 		b.Run(q, func(b *testing.B) {
 			benchQuery(b, corexpath.New(d), d, q)
+		})
+	}
+}
+
+// --- Serving layer: compiled-query cache and batch worker pool ---
+
+// BenchmarkServingCachedVsCold measures what the internal/engine cache
+// saves per request: "cold" compiles the query on every request (parse
+// + normalize + classify + evaluate), "cached" hits the compiled-query
+// LRU and only evaluates. On a selective Core XPath query — long
+// query, small touched node set, the common shape of selective serving
+// traffic, where compilation dominates — the cached path is well over
+// 10× faster.
+func BenchmarkServingCachedVsCold(b *testing.B) {
+	d := workload.Doc(2)
+	src := "//absent" + strings.Repeat("/child::a", 60)
+	b.Run("cold", func(b *testing.B) {
+		en := core.NewEngine(d, core.Auto)
+		for i := 0; i < b.N; i++ {
+			q, err := core.Compile(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := en.Evaluate(q, core.Context{Node: d.RootID(), Pos: 1, Size: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := engine.New(engine.Options{}).NewSession(d)
+		if _, err := s.Query(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServingBatchWorkers measures batch throughput scaling with
+// the worker pool on a realistic catalog workload. Evaluation is pure
+// CPU, so wall-clock scaling tracks available cores: with GOMAXPROCS=1
+// every worker count measures the same (plus small pool overhead); on
+// an m-core machine throughput grows toward m× until workers exceed
+// cores.
+func BenchmarkServingBatchWorkers(b *testing.B) {
+	d := workload.Catalog(400)
+	batch := make([]string, 0, 96)
+	for len(batch) < 96 {
+		batch = append(batch,
+			"count(//product)",
+			"//product[child::discontinued]/child::name",
+			"sum(//price)",
+			"//product[child::price > 50]",
+		)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := engine.New(engine.Options{Workers: workers}).NewSession(d)
+			s.Batch(batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, res := range s.Batch(batch) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
 		})
 	}
 }

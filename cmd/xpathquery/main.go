@@ -5,18 +5,24 @@
 //	xpathquery -query '//book[price > 10]/title' catalog.xml
 //	cat doc.xml | xpathquery -query 'count(//item)'
 //	xpathquery -query '//a' -strategy topdown -explain doc.xml
+//	xpathquery -query '//a[position() = last()]' -strategy bottomup -maxrows 100000 doc.xml
 //
 // The -strategy flag selects one of the paper's algorithms (default
 // auto = the combined OptMinContext processor); -explain prints the
-// fragment classification and the algorithm chosen.
+// fragment classification and the algorithm chosen. With -strategy
+// bottomup, -maxrows guards against the algorithm's worst-case O(|D|³)
+// context-value tables on large documents: when the limit trips, the
+// command explains the blow-up and exits with status 3.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/bottomup"
 	"repro/internal/core"
 	"repro/internal/semantics"
 	"repro/internal/xpath"
@@ -26,6 +32,7 @@ func main() {
 	query := flag.String("query", "", "XPath query (required)")
 	strategy := flag.String("strategy", "auto", "evaluation strategy: auto|naive|datapool|bottomup|topdown|mincontext|optmincontext|corexpath|xpatterns")
 	explain := flag.Bool("explain", false, "print fragment classification and chosen algorithm")
+	maxRows := flag.Int("maxrows", 0, "bottomup only: abort if a context-value table would exceed this many rows (0 = unlimited)")
 	flag.Parse()
 
 	if *query == "" {
@@ -56,6 +63,7 @@ func main() {
 		fail(err)
 	}
 	en := core.NewEngine(doc, strat)
+	en.MaxTableRows = *maxRows
 	if *explain {
 		fmt.Printf("query:    %s\n", q)
 		fmt.Printf("fragment: %s\n", q.Fragment())
@@ -63,6 +71,11 @@ func main() {
 		fmt.Printf("normal:   %s\n", q.Expr())
 	}
 	v, err := en.Evaluate(q, core.Context{Node: doc.RootID(), Pos: 1, Size: 1})
+	if errors.Is(err, bottomup.ErrTableLimit) {
+		fmt.Fprintf(os.Stderr, "xpathquery: %v\n", err)
+		fmt.Fprintln(os.Stderr, "xpathquery: the bottomup strategy materializes full context-value tables; raise -maxrows or use -strategy topdown/mincontext")
+		os.Exit(3)
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,100 @@
+// Command xpathserve is an HTTP/JSON server for XPath 1.0 queries: the
+// concurrent serving layer of internal/engine behind four endpoints.
+//
+// Usage:
+//
+//	xpathserve -addr :8080 -doc catalog=catalog.xml -doc site=site.xml
+//
+// Endpoints:
+//
+//	POST /documents  {"name": "d", "xml": "<a><b/></a>"}   register a document
+//	GET  /query?doc=d&q=//b                                 evaluate one query
+//	POST /query      {"doc": "d", "query": "count(//b)"}    same, JSON body
+//	POST /batch      {"doc": "d", "queries": ["//b", ...]}  concurrent batch
+//	GET  /stats                                             cache + in-flight stats
+//
+// Compiled queries are cached (LRU, -cache entries) keyed by query
+// string and strategy, so repeated queries skip parsing and fragment
+// classification; batches fan out over -workers goroutines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// docFlags collects repeated -doc name=path flags.
+type docFlags []string
+
+func (d *docFlags) String() string     { return fmt.Sprint(*d) }
+func (d *docFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	var docs docFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	strategy := flag.String("strategy", "auto", "evaluation strategy: auto|naive|datapool|bottomup|topdown|mincontext|optmincontext|corexpath|xpatterns")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "compiled-query cache capacity")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	naiveBudget := flag.Int64("naive-budget", 0, "step budget for naive/datapool strategies (0 = unlimited)")
+	maxRows := flag.Int("maxrows", 0, "context-value table row limit for the bottomup strategy (0 = unlimited)")
+	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "request body size limit in bytes")
+	maxDocs := flag.Int("max-docs", defaultMaxDocuments, "maximum number of retained documents")
+	flag.Var(&docs, "doc", "document to serve, as name=path (repeatable)")
+	flag.Parse()
+
+	strat, ok := core.StrategyByName(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xpathserve: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Options{
+		Strategy:     strat,
+		CacheSize:    *cacheSize,
+		Workers:      *workers,
+		NaiveBudget:  *naiveBudget,
+		MaxTableRows: *maxRows,
+	})
+	srv := newServer(eng)
+	srv.maxBody = *maxBody
+	srv.maxDocs = *maxDocs
+	for _, spec := range docs {
+		name, path, err := parseDocFlag(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
+			os.Exit(2)
+		}
+		xml, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := srv.addDocument(name, string(xml))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("loaded %s from %s (%d nodes)", name, path, n)
+	}
+
+	log.Printf("xpathserve listening on %s (strategy=%s cache=%d docs=%v)",
+		*addr, strat, *cacheSize, srv.docNames())
+	// Header/idle timeouts bound connection abuse; per-request bodies
+	// are capped by the handler's MaxBytesReader. No WriteTimeout:
+	// large batches on big documents legitimately take a while.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

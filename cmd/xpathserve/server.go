@@ -1,0 +1,381 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/semantics"
+	"repro/internal/xpath"
+)
+
+// maxNodesInResponse caps how many node-set members a response renders;
+// the full cardinality is always reported in "count".
+const maxNodesInResponse = 100
+
+// maxStringBytes caps every rendered string value. Element string-
+// values are document-sized in the worst case (the root's string-value
+// is all text in the document), so without this cap a //* query could
+// buffer responses orders of magnitude larger than the document.
+const maxStringBytes = 64 << 10
+
+// defaultMaxBodyBytes bounds request bodies (documents arrive inline
+// as JSON) so one oversized POST cannot exhaust memory.
+const defaultMaxBodyBytes = 32 << 20
+
+// defaultMaxDocuments bounds how many documents the server retains;
+// parsed documents live until replaced, so without a cap repeated
+// small POSTs to /documents would grow memory without limit.
+const defaultMaxDocuments = 64
+
+// errTooManyDocs is returned by addDocument when registering a new
+// name would exceed the document cap (replacements always succeed).
+var errTooManyDocs = errors.New("document limit reached")
+
+// server routes HTTP requests onto an engine.Engine and a named set of
+// documents, each wrapped in an engine.Session.
+type server struct {
+	eng     *engine.Engine
+	maxBody int64
+	maxDocs int
+
+	mu       sync.RWMutex
+	sessions map[string]*engine.Session
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{
+		eng:      eng,
+		maxBody:  defaultMaxBodyBytes,
+		maxDocs:  defaultMaxDocuments,
+		sessions: make(map[string]*engine.Session),
+	}
+}
+
+// addDocument parses xml and registers it under name, replacing any
+// previous document with that name. It returns the node count.
+func (s *server) addDocument(name, xml string) (int, error) {
+	d, err := core.ParseString(xml)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, replacing := s.sessions[name]; !replacing && len(s.sessions) >= s.maxDocs {
+		return 0, fmt.Errorf("%w (%d)", errTooManyDocs, s.maxDocs)
+	}
+	s.sessions[name] = s.eng.NewSession(d)
+	return d.Len(), nil
+}
+
+func (s *server) session(name string) (*engine.Session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[name]
+	return sess, ok
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", s.handleDocuments)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+type documentRequest struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+}
+
+type queryRequest struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
+}
+
+type batchRequest struct {
+	Doc     string   `json:"doc"`
+	Queries []string `json:"queries"`
+}
+
+// valueJSON renders a semantics.Value: "string" always carries the
+// XPath string conversion; the kind-specific field carries the typed
+// value, with node sets truncated to maxNodesInResponse entries.
+type valueJSON struct {
+	Kind      string     `json:"kind"`
+	String    string     `json:"string"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Number    *float64   `json:"number,omitempty"`
+	Boolean   *bool      `json:"boolean,omitempty"`
+	Count     *int       `json:"count,omitempty"`
+	Nodes     []nodeJSON `json:"nodes,omitempty"`
+}
+
+type nodeJSON struct {
+	Type      string `json:"type"`
+	Name      string `json:"name,omitempty"`
+	Value     string `json:"value"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// clip bounds s to maxStringBytes without splitting a UTF-8 sequence.
+func clip(s string) (string, bool) {
+	if len(s) <= maxStringBytes {
+		return s, false
+	}
+	cut := maxStringBytes
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut], true
+}
+
+type queryResponse struct {
+	Query    string     `json:"query"`
+	Fragment string     `json:"fragment"`
+	Strategy string     `json:"strategy"`
+	Value    *valueJSON `json:"value,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// kindName renders a value kind for the JSON API (the xpath package's
+// String() forms are the paper's terse type names).
+func kindName(k xpath.Type) string {
+	switch k {
+	case xpath.TypeNumber:
+		return "number"
+	case xpath.TypeString:
+		return "string"
+	case xpath.TypeBoolean:
+		return "boolean"
+	default:
+		return "node-set"
+	}
+}
+
+func renderValue(d *core.Document, v core.Value) *valueJSON {
+	out := &valueJSON{Kind: kindName(v.Kind)}
+	out.String, out.Truncated = clip(semantics.ToString(d, v))
+	switch v.Kind {
+	case xpath.TypeNumber:
+		out.Number = &v.Num
+	case xpath.TypeBoolean:
+		out.Boolean = &v.Bool
+	case xpath.TypeNodeSet:
+		n := len(v.Set)
+		out.Count = &n
+		for i, id := range v.Set {
+			if i == maxNodesInResponse {
+				break
+			}
+			node := d.Node(id)
+			nj := nodeJSON{Type: node.Type.String()}
+			nj.Value, nj.Truncated = clip(d.StringValue(id))
+			if node.Type.HasName() {
+				nj.Name = node.Name
+			}
+			out.Nodes = append(out.Nodes, nj)
+		}
+	}
+	return out
+}
+
+// answer evaluates one query against a session and renders the
+// response; compile and evaluation errors land in the Error field.
+func (s *server) answer(sess *engine.Session, src string) queryResponse {
+	return s.render(sess, sess.Do(src))
+}
+
+// render turns an evaluation outcome into a response, annotating it
+// with the fragment classification and chosen algorithm straight off
+// the compiled query (no second cache lookup, so /stats counts each
+// served query exactly once).
+func (s *server) render(sess *engine.Session, res engine.Result) queryResponse {
+	resp := queryResponse{Query: res.Query}
+	if res.Compiled != nil {
+		resp.Fragment = res.Compiled.Fragment().String()
+		resp.Strategy = sess.StrategyFor(res.Compiled).String()
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		return resp
+	}
+	resp.Value = renderValue(sess.Document(), res.Value)
+	return resp
+}
+
+func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a {name, xml} object")
+		return
+	}
+	var req documentRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.XML == "" {
+		httpError(w, http.StatusBadRequest, "both name and xml are required")
+		return
+	}
+	n, err := s.addDocument(req.Name, req.XML)
+	if errors.Is(err, errTooManyDocs) {
+		httpError(w, http.StatusInsufficientStorage, "%v; replace an existing document or raise -max-docs", err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse %s: %v", req.Name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": req.Name, "nodes": n})
+}
+
+// handleQuery accepts POST {doc, query} or GET ?doc=...&q=... (the
+// curl-friendly form).
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Doc = r.URL.Query().Get("doc")
+		req.Query = r.URL.Query().Get("q")
+	case http.MethodPost:
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET ?doc=&q= or POST {doc, query}")
+		return
+	}
+	if req.Doc == "" || req.Query == "" {
+		httpError(w, http.StatusBadRequest, "both doc and query are required")
+		return
+	}
+	sess, ok := s.session(req.Doc)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown document %q", req.Doc)
+		return
+	}
+	resp := s.answer(sess, req.Query)
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a {doc, queries} object")
+		return
+	}
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Doc == "" {
+		httpError(w, http.StatusBadRequest, "doc is required")
+		return
+	}
+	sess, ok := s.session(req.Doc)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown document %q", req.Doc)
+		return
+	}
+	// Compile through the shared cache and fan evaluation out over the
+	// session's worker pool; results come back in input order.
+	results := sess.Batch(req.Queries)
+	out := make([]queryResponse, len(results))
+	for i, res := range results {
+		out[i] = s.render(sess, res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"doc": req.Doc, "results": out})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.eng.Stats()
+	s.mu.RLock()
+	docs := make(map[string]int, len(s.sessions))
+	for name, sess := range s.sessions {
+		docs[name] = sess.Document().Len()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache": map[string]any{
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"evictions": st.Evictions,
+			"size":      st.Size,
+			"capacity":  st.Capacity,
+			"hit_rate":  st.HitRate(),
+		},
+		"in_flight": st.InFlight,
+		"strategy":  s.eng.Strategy().String(),
+		"documents": docs,
+	})
+}
+
+// decodeJSON parses a request body into dst, writing the error
+// response itself on failure: 413 when the body tripped the size
+// limit, 400 for malformed JSON.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	err := json.NewDecoder(r.Body).Decode(dst)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// docNames returns the registered document names, sorted (for logs).
+func (s *server) docNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseDocFlag splits a -doc value of the form name=path.
+func parseDocFlag(v string) (name, path string, err error) {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("-doc wants name=path, got %q", v)
+	}
+	return name, path, nil
+}

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(engine.New(engine.Options{CacheSize: 64, Workers: 4}))
+	if _, err := srv.addDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	val := out["value"].(map[string]any)
+	if val["number"] != 12.0 {
+		t.Fatalf("count(//product) = %v, want 12", val["number"])
+	}
+	if out["strategy"] != "optmincontext" && out["strategy"] != "corexpath" && out["strategy"] != "xpatterns" {
+		t.Fatalf("strategy = %v", out["strategy"])
+	}
+
+	resp, out = postJSON(t, ts.URL+"/query", map[string]any{"doc": "catalog", "query": "//product[child::discontinued]/child::name"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	val = out["value"].(map[string]any)
+	if val["kind"] != "node-set" {
+		t.Fatalf("kind = %v, want node-set", val["kind"])
+	}
+	if _, ok := val["count"]; !ok {
+		t.Fatalf("node-set value missing count: %v", val)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := getJSON(t, ts.URL+"/query?doc=nope&q=//a")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc status = %d, want 404", resp.StatusCode)
+	}
+	resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=//[")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad query status = %d, want 422", resp.StatusCode)
+	}
+	if out["error"] == "" {
+		t.Fatal("bad query returned no error message")
+	}
+	resp, _ = getJSON(t, ts.URL+"/query?doc=catalog")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing q status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDocumentsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: "mini", XML: "<a><b/><b/></a>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	_, out = getJSON(t, ts.URL+"/query?doc=mini&q=count(//b)")
+	if val := out["value"].(map[string]any); val["number"] != 2.0 {
+		t.Fatalf("count(//b) = %v, want 2", val["number"])
+	}
+	resp, _ = postJSON(t, ts.URL+"/documents", documentRequest{Name: "bad", XML: "<a>"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed XML status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	queries := []string{"count(//product)", "//[", "sum(//price) > 0"}
+	resp, out := postJSON(t, ts.URL+"/batch", batchRequest{Doc: "catalog", Queries: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if q := r.(map[string]any)["query"]; q != queries[i] {
+			t.Fatalf("result %d is for %v, want %q", i, q, queries[i])
+		}
+	}
+	if errMsg, ok := results[1].(map[string]any)["error"]; !ok || errMsg == "" {
+		t.Fatal("invalid query in batch carried no error")
+	}
+	if val := results[2].(map[string]any)["value"].(map[string]any); val["boolean"] != true {
+		t.Fatalf("sum(//price) > 0 = %v, want true", val["boolean"])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	for i := 0; i < 3; i++ {
+		getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)")
+	}
+	_, out := getJSON(t, ts.URL+"/stats")
+	cache := out["cache"].(map[string]any)
+	// Each served query counts exactly one cache event: 1 miss then 2
+	// hits. Annotating fragment/strategy must not re-consult the cache.
+	if cache["misses"].(float64) != 1 || cache["hits"].(float64) != 2 {
+		t.Fatalf("cache stats = %v, want exactly 1 miss and 2 hits", cache)
+	}
+	if rate := cache["hit_rate"].(float64); rate != 2.0/3.0 {
+		t.Fatalf("hit_rate = %v, want 2/3", rate)
+	}
+	docs := out["documents"].(map[string]any)
+	if _, ok := docs["catalog"]; !ok {
+		t.Fatalf("documents = %v, want catalog", docs)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	srv := newServer(engine.New(engine.Options{}))
+	srv.maxBody = 256
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	big := documentRequest{Name: "big", XML: "<a>" + strings.Repeat("x", 4096) + "</a>"}
+	resp, out := postJSON(t, ts.URL+"/documents", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, body %v, want 413", resp.StatusCode, out)
+	}
+	if _, err := srv.addDocument("small", "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/query?doc=small&q=count(//b)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unusable after oversized request: %d", resp.StatusCode)
+	}
+}
+
+// TestDocumentLimit checks the retained-document cap: new names past
+// the cap are rejected with 507, replacements always go through.
+func TestDocumentLimit(t *testing.T) {
+	srv := newServer(engine.New(engine.Options{}))
+	srv.maxDocs = 2
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	for _, name := range []string{"one", "two"} {
+		if resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: name, XML: "<a/>"}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: %d %v", name, resp.StatusCode, out)
+		}
+	}
+	resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: "three", XML: "<a/>"})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("over-cap status = %d, body %v, want 507", resp.StatusCode, out)
+	}
+	if resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: "two", XML: "<a><b/></a>"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replacement at cap: %d %v", resp.StatusCode, out)
+	}
+}
+
+// TestResponseTruncation checks that huge string values are clipped in
+// responses (flagged via "truncated") rather than buffered whole.
+func TestResponseTruncation(t *testing.T) {
+	srv := newServer(engine.New(engine.Options{}))
+	text := strings.Repeat("é", 40<<10) // 80KB of 2-byte runes > maxStringBytes
+	if _, err := srv.addDocument("big", "<a><b>"+text+"</b></a>"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	_, out := getJSON(t, ts.URL+"/query?doc=big&q=//b")
+	val := out["value"].(map[string]any)
+	node := val["nodes"].([]any)[0].(map[string]any)
+	if node["truncated"] != true {
+		t.Fatalf("node = %v, want truncated", node)
+	}
+	got := node["value"].(string)
+	if len(got) > maxStringBytes || !utf8.ValidString(got) {
+		t.Fatalf("clipped value: %d bytes, valid UTF-8 %v", len(got), utf8.ValidString(got))
+	}
+}
+
+// TestServerConcurrentTraffic exercises the full HTTP path from many
+// goroutines while documents are being replaced, under -race.
+func TestServerConcurrentTraffic(t *testing.T) {
+	srv, ts := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)")
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("query status %d: %v", resp.StatusCode, out)
+						return
+					}
+				case 1:
+					postJSON(t, ts.URL+"/batch", batchRequest{
+						Doc:     "catalog",
+						Queries: []string{"count(//product)", "sum(//price)"},
+					})
+				default:
+					postJSON(t, ts.URL+"/documents", documentRequest{
+						Name: "catalog", XML: workload.Catalog(12).XMLString(),
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := srv.eng.Stats(); st.InFlight != 0 {
+		t.Fatalf("in-flight leaked: %+v", st)
+	}
+}

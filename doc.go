@@ -5,6 +5,27 @@
 // table algorithms and the linear-time fragment evaluators — plus the
 // benchmark harness regenerating the paper's experiments.
 //
-// See internal/core for the public engine API, DESIGN.md for the system
-// inventory, and EXPERIMENTS.md for measured results.
+// The repository is layered:
+//
+//   - internal/xmltree, internal/xpath, internal/semantics — the data
+//     model, parser and effective semantics shared by every engine.
+//   - internal/naive … internal/xpatterns — one package per algorithm
+//     of the paper (naive, datapool, bottomup, topdown, mincontext,
+//     optmincontext/wadler, corexpath, xpatterns).
+//   - internal/core — the public engine API: compile a query once,
+//     evaluate it with a selectable strategy; Auto picks the best
+//     algorithm per query via fragment classification.
+//   - internal/engine — the concurrent serving layer: a thread-safe
+//     LRU cache of compiled queries (compile once per distinct query
+//     under sustained traffic), Sessions binding documents, and a
+//     bounded worker pool for batch evaluation in input order.
+//   - cmd/xpathserve — an HTTP/JSON server over internal/engine with
+//     /query, /batch, /documents and /stats endpoints; the other
+//     cmd/ tools (xpathquery, xpathbench, xpathgrep, xpathexplain,
+//     xmlgen) are one-shot CLIs.
+//
+// See internal/core for the engine API, internal/engine for the
+// serving layer, README.md for the strategy table and server examples,
+// and bench_test.go for the benchmarks regenerating the paper's
+// figures plus the serving-layer cache and worker-pool measurements.
 package repro

@@ -16,6 +16,7 @@
 package bottomup
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/evalutil"
@@ -23,6 +24,12 @@ import (
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
+
+// ErrTableLimit reports that materializing a context-value table would
+// exceed Evaluator.MaxTableRows. Errors returned by Evaluate wrap it,
+// so callers detect the condition with errors.Is(err, ErrTableLimit)
+// and can fall back to a polynomial-space engine.
+var ErrTableLimit = errors.New("context-value table row limit exceeded")
 
 // Evaluator evaluates XPath queries by materializing context-value
 // tables bottom-up.
@@ -136,7 +143,7 @@ func (ev *Evaluator) contexts(r xpath.Relev) ([]semantics.Context, error) {
 	}
 	total := len(nodes) * len(pss)
 	if ev.MaxTableRows > 0 && total > ev.MaxTableRows {
-		return nil, fmt.Errorf("bottomup: table with %d rows exceeds limit %d", total, ev.MaxTableRows)
+		return nil, fmt.Errorf("bottomup: table with %d rows exceeds limit %d: %w", total, ev.MaxTableRows, ErrTableLimit)
 	}
 	out := make([]semantics.Context, 0, total)
 	for _, x := range nodes {

@@ -1,6 +1,7 @@
 package bottomup
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/semantics"
@@ -119,6 +120,19 @@ func TestMaxTableRowsGuard(t *testing.T) {
 		semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
 	if err == nil {
 		t.Error("expected table-size guard to fire")
+	}
+	if !errors.Is(err, ErrTableLimit) {
+		t.Errorf("err = %v, want errors.Is(err, ErrTableLimit)", err)
+	}
+	// A limit large enough for the query must not change the result.
+	ev.MaxTableRows = d.Len() * d.Len() * d.Len()
+	v, err := ev.Evaluate(xpath.MustParse("count(//b[position() != last()])"),
+		semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Num != 2 {
+		t.Errorf("count = %v, want 2", v.Num)
 	}
 }
 

@@ -129,7 +129,13 @@ func (f Fragment) String() string {
 	}
 }
 
-// Query is a compiled XPath query.
+// Query is a compiled XPath query. A Query is immutable after
+// compilation — it holds the normalized expression tree and fragment
+// classification, never evaluation state — so one compiled Query may
+// be evaluated concurrently by any number of goroutines, over the same
+// document or different ones (internal/engine's compiled-query cache
+// relies on this; see TestConcurrentEvaluation and the engine race
+// tests).
 type Query struct {
 	src  string
 	expr xpath.Expr
@@ -195,6 +201,14 @@ func classify(e xpath.Expr) Fragment {
 
 // Engine evaluates compiled queries over one document with a fixed
 // strategy.
+//
+// An Engine is safe for concurrent use once configured: Evaluate
+// constructs fresh per-call evaluator state, the Document is immutable
+// after parsing (its lazily filled string-value memo is mutex-guarded
+// in xmltree), and Query is immutable after compilation. The exported
+// knobs (NaiveBudget, MaxTableRows) are read on every call and must
+// not be written concurrently with evaluation — set them before
+// sharing the Engine.
 type Engine struct {
 	doc      *Document
 	strategy Strategy
@@ -202,6 +216,12 @@ type Engine struct {
 	// NaiveBudget bounds naive-strategy evaluations (0 = unlimited);
 	// see naive.Evaluator.Budget.
 	NaiveBudget int64
+
+	// MaxTableRows bounds the context-value tables materialized by the
+	// BottomUp strategy (0 = unlimited); see
+	// bottomup.Evaluator.MaxTableRows. When the limit trips, Evaluate
+	// returns an error wrapping bottomup.ErrTableLimit.
+	MaxTableRows int
 }
 
 // NewEngine creates an engine over a document.
@@ -240,7 +260,9 @@ func (en *Engine) Evaluate(q *Query, c Context) (Value, error) {
 		ev.Budget = en.NaiveBudget
 		return ev.Evaluate(q.expr, c)
 	case BottomUp:
-		return bottomup.New(en.doc).Evaluate(q.expr, c)
+		ev := bottomup.New(en.doc)
+		ev.MaxTableRows = en.MaxTableRows
+		return ev.Evaluate(q.expr, c)
 	case TopDown:
 		return topdown.New(en.doc).Evaluate(q.expr, c)
 	case MinContext:

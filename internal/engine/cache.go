@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheKey identifies a compiled query in the cache: the literal query
+// text plus the strategy it was compiled for. Compilation itself is
+// strategy-independent, but keying on the pair keeps the cache correct
+// if engines with different strategies ever share one cache, and makes
+// the hit-rate numbers attributable to a single serving configuration.
+type cacheKey struct {
+	src      string
+	strategy core.Strategy
+}
+
+// queryCache is a thread-safe LRU cache of compiled queries. Under
+// sustained traffic with a bounded working set of distinct query
+// strings, core.Compile runs once per distinct query; everything else
+// is a mutex-guarded map lookup.
+//
+// Concurrent misses on the same key may compile the same query more
+// than once; the first add wins and the duplicates are discarded.
+// Compiled queries are immutable, so handing the same *core.Query to
+// many goroutines is safe (see TestConcurrentEvaluation in
+// internal/core).
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	q   *core.Query
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &queryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached compiled query for k, promoting it to most
+// recently used.
+func (c *queryCache) get(k cacheKey) (*core.Query, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).q, true
+}
+
+// add inserts a compiled query, evicting the least recently used entry
+// if the cache is full. If another goroutine added the key first, its
+// entry is kept and returned.
+func (c *queryCache) add(k cacheKey, q *core.Query) *core.Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).q
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, q: q})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return q
+}
+
+// snapshot returns the counters and current size under one lock
+// acquisition, so Stats readings are internally consistent.
+func (c *queryCache) snapshot() (hits, misses, evictions uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len(), c.capacity
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := newQueryCache(2)
+	k := func(i int) cacheKey { return cacheKey{src: fmt.Sprintf("/q%d", i), strategy: core.Auto} }
+	q := func(i int) *core.Query { return core.MustCompile(fmt.Sprintf("/q%d", i)) }
+
+	if _, ok := c.get(k(0)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.add(k(0), q(0))
+	c.add(k(1), q(1))
+	if _, ok := c.get(k(0)); !ok {
+		t.Fatal("miss after add")
+	}
+	// 0 is now most recent; adding 2 must evict 1.
+	c.add(k(2), q(2))
+	if _, ok := c.get(k(1)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.get(k(0)); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	hits, misses, evictions, size, capacity := c.snapshot()
+	if hits != 2 || misses != 2 || evictions != 1 || size != 2 || capacity != 2 {
+		t.Fatalf("snapshot = hits %d misses %d evictions %d size %d cap %d, want 2 2 1 2 2",
+			hits, misses, evictions, size, capacity)
+	}
+}
+
+func TestCacheKeyIncludesStrategy(t *testing.T) {
+	c := newQueryCache(8)
+	q := core.MustCompile("//a")
+	c.add(cacheKey{src: "//a", strategy: core.Auto}, q)
+	if _, ok := c.get(cacheKey{src: "//a", strategy: core.Naive}); ok {
+		t.Fatal("strategy is not part of the cache key")
+	}
+}
+
+// TestCacheConcurrent hammers a small cache from many goroutines with a
+// key space larger than the capacity, so gets, adds and evictions race
+// under -race. Invariants: a get after a miss+add returns an equivalent
+// compiled query, and the size never exceeds capacity.
+func TestCacheConcurrent(t *testing.T) {
+	const capacity, keys, goroutines, reps = 8, 32, 8, 200
+	c := newQueryCache(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				n := (g*reps + i) % keys
+				src := fmt.Sprintf("/child::tag%d", n)
+				k := cacheKey{src: src, strategy: core.Auto}
+				q, ok := c.get(k)
+				if !ok {
+					compiled, err := core.Compile(src)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					q = c.add(k, compiled)
+				}
+				if q.String() != src {
+					t.Errorf("cache returned query %q for key %q", q.String(), src)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, evictions, size, _ := c.snapshot()
+	if size > capacity {
+		t.Fatalf("cache size %d exceeds capacity %d", size, capacity)
+	}
+	if hits+misses != goroutines*reps {
+		t.Fatalf("hits %d + misses %d != %d lookups", hits, misses, goroutines*reps)
+	}
+	if evictions == 0 {
+		t.Fatal("expected evictions with key space > capacity")
+	}
+}
+
+// TestCacheConcurrentAddSameKey checks the first-add-wins contract:
+// when several goroutines compile the same query concurrently, add
+// returns one canonical *core.Query for all of them.
+func TestCacheConcurrentAddSameKey(t *testing.T) {
+	c := newQueryCache(4)
+	k := cacheKey{src: "//a/b", strategy: core.Auto}
+	const goroutines = 16
+	got := make([]*core.Query, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = c.add(k, core.MustCompile("//a/b"))
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatal("concurrent adds of one key returned different queries")
+		}
+	}
+}

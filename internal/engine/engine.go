@@ -1,0 +1,122 @@
+// Package engine is the concurrent serving layer on top of
+// internal/core: it amortizes query compilation across requests with a
+// thread-safe LRU cache of compiled queries, and parallelizes batch
+// evaluation over a bounded worker pool.
+//
+// The layering mirrors the combined processor of the paper's
+// introduction — internal/core picks the best algorithm per query — but
+// adds what a production deployment needs around it: compile-once
+// semantics under sustained traffic (in the spirit of the compiled-
+// query reuse of Gottlob/Orsi/Pieris's rewriting systems), bounded
+// concurrency, and observable cache/in-flight statistics.
+//
+// Concurrency model: a Document is immutable after parsing (its lazy
+// strval memo is mutex-guarded), a compiled *core.Query is immutable
+// after Compile, and core.Engine.Evaluate builds per-call evaluator
+// state. One Engine and its Sessions may therefore be shared freely by
+// any number of goroutines; internal/core's TestConcurrentEvaluation
+// and this package's race tests pin that contract down.
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// DefaultCacheSize is the compiled-query cache capacity used when
+// Options.CacheSize is zero.
+const DefaultCacheSize = 1024
+
+// Options configures an Engine. The zero value is a sensible serving
+// default: Auto strategy, DefaultCacheSize cache, GOMAXPROCS workers.
+type Options struct {
+	// Strategy is the evaluation strategy handed to internal/core for
+	// every session (default Auto: the combined processor).
+	Strategy core.Strategy
+
+	// CacheSize bounds the compiled-query LRU cache (default
+	// DefaultCacheSize).
+	CacheSize int
+
+	// Workers bounds the per-batch worker pool (default GOMAXPROCS).
+	Workers int
+
+	// NaiveBudget bounds naive/datapool-strategy evaluations
+	// (0 = unlimited); see core.Engine.NaiveBudget.
+	NaiveBudget int64
+
+	// MaxTableRows bounds bottom-up context-value tables
+	// (0 = unlimited); see core.Engine.MaxTableRows.
+	MaxTableRows int
+}
+
+// Engine caches compiled queries and spawns Sessions over documents.
+// It is safe for concurrent use.
+type Engine struct {
+	opts     Options
+	cache    *queryCache
+	inFlight atomic.Int64
+}
+
+// New creates an Engine. Zero-valued Options fields take defaults.
+func New(opts Options) *Engine {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{opts: opts, cache: newQueryCache(opts.CacheSize)}
+}
+
+// Strategy returns the engine's configured evaluation strategy.
+func (e *Engine) Strategy() core.Strategy { return e.opts.Strategy }
+
+// Compile returns the compiled form of src, consulting the cache first
+// so each distinct query string is parsed and classified once under
+// sustained traffic. Compilation errors are not cached.
+func (e *Engine) Compile(src string) (*core.Query, error) {
+	k := cacheKey{src: src, strategy: e.opts.Strategy}
+	if q, ok := e.cache.get(k); ok {
+		return q, nil
+	}
+	q, err := core.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.cache.add(k, q), nil
+}
+
+// Stats is a point-in-time reading of the engine's observable state.
+type Stats struct {
+	// Hits, Misses and Evictions count compiled-query cache events
+	// since the engine was created.
+	Hits, Misses, Evictions uint64
+	// Size and Capacity describe the cache's current fill.
+	Size, Capacity int
+	// InFlight counts evaluations currently executing across all
+	// sessions.
+	InFlight int64
+}
+
+// HitRate returns the cache hit fraction in [0, 1] (0 before any
+// lookup).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns current cache and in-flight statistics.
+func (e *Engine) Stats() Stats {
+	hits, misses, evictions, size, capacity := e.cache.snapshot()
+	return Stats{
+		Hits: hits, Misses: misses, Evictions: evictions,
+		Size: size, Capacity: capacity,
+		InFlight: e.inFlight.Load(),
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Session binds a parsed document to an Engine. All evaluations run
+// from the document root with the engine's strategy and share the
+// engine's compiled-query cache. A Session is safe for concurrent use;
+// many sessions (one per document) may share one Engine.
+type Session struct {
+	eng     *Engine
+	doc     *core.Document
+	en      *core.Engine
+	workers int
+}
+
+// NewSession creates a session over a document.
+func (e *Engine) NewSession(d *core.Document) *Session {
+	en := core.NewEngine(d, e.opts.Strategy)
+	en.NaiveBudget = e.opts.NaiveBudget
+	en.MaxTableRows = e.opts.MaxTableRows
+	return &Session{eng: e, doc: d, en: en, workers: e.opts.Workers}
+}
+
+// Document returns the session's document.
+func (s *Session) Document() *core.Document { return s.doc }
+
+// Result is the full outcome of one query: the compiled form (nil when
+// compilation failed) and exactly one of Value and Err.
+type Result struct {
+	Query    string
+	Compiled *core.Query
+	Value    core.Value
+	Err      error
+}
+
+// Do compiles src through the engine's cache and evaluates it from the
+// document root, returning the full outcome. Callers that need the
+// fragment classification or chosen algorithm read them off
+// Result.Compiled without a second cache lookup.
+func (s *Session) Do(src string) Result {
+	res := Result{Query: src}
+	q, err := s.eng.Compile(src)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Compiled = q
+	res.Value, res.Err = s.Evaluate(q)
+	return res
+}
+
+// Query compiles src through the engine's cache and evaluates it from
+// the document root.
+func (s *Session) Query(src string) (core.Value, error) {
+	res := s.Do(src)
+	return res.Value, res.Err
+}
+
+// StrategyFor reports the concrete algorithm the session would run q
+// with (resolving Auto by fragment).
+func (s *Session) StrategyFor(q *core.Query) core.Strategy { return s.en.StrategyFor(q) }
+
+// Evaluate runs an already-compiled query from the document root.
+func (s *Session) Evaluate(q *core.Query) (core.Value, error) {
+	s.eng.inFlight.Add(1)
+	defer s.eng.inFlight.Add(-1)
+	return s.en.Evaluate(q, core.Context{Node: s.doc.RootID(), Pos: 1, Size: 1})
+}
+
+// Batch evaluates queries concurrently over a worker pool bounded by
+// Options.Workers and returns results in input order. One failing
+// query does not abort the rest; each Result carries its own error.
+func (s *Session) Batch(queries []string) []Result {
+	out := make([]Result, len(queries))
+	workers := s.workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, src := range queries {
+			out[i] = s.Do(src)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = s.Do(queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
