@@ -1,0 +1,178 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark runs can be persisted as artifacts and
+// compared across commits instead of scrolling away in CI logs.
+//
+// Usage:
+//
+//	go test -bench . -run '^$' . | benchjson -out BENCH_42.json
+//	go test -bench Serving -run '^$' . | benchjson -dir benchruns
+//
+// With -out the result goes exactly there; with -dir (and no -out) the
+// file is named BENCH_<n>.json for the smallest n not already present
+// in the directory, so successive runs form a numbered trajectory.
+// Standard input must be the plain (non -json) `go test` output; lines
+// that are not benchmark results are preserved under "context" when
+// they carry goos/goarch/pkg/cpu metadata and ignored otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. NsPerOp is pulled out of
+// Metrics because every result has it and trend tooling keys on it;
+// all other "value unit" pairs (B/op, allocs/op, custom ReportMetric
+// units) stay in Metrics.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "read `go test -bench` output from this file instead of stdin")
+	out := flag.String("out", "", "write JSON here (default: BENCH_<n>.json under -dir)")
+	dir := flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json files")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	parsed, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(parsed.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+	path := *out
+	if path == "" {
+		path, err = nextBenchPath(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	buf, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// parse consumes `go test -bench` output: metadata lines (goos:,
+// goarch:, pkg:, cpu:) land in Context, Benchmark* result lines are
+// parsed, everything else is skipped.
+func parse(r io.Reader) (*benchFile, error) {
+	out := &benchFile{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch key {
+			case "goos", "goarch", "pkg", "cpu":
+				out.Context[key] = strings.TrimSpace(val)
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Context) == 0 {
+		out.Context = nil
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   1234   987654 ns/op   16 B/op   2 allocs/op
+//
+// Fields after the iteration count come in "value unit" pairs.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+		}
+		res.Metrics[unit] = v
+	}
+	if len(res.Metrics) == 0 {
+		return benchResult{}, false
+	}
+	return res, true
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest n not yet
+// taken, starting at 1.
+func nextBenchPath(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	taken := map[int]bool{}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(base); err == nil {
+			taken[n] = true
+		}
+	}
+	n := 1
+	for taken[n] {
+		n++
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n)), nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkServingCachedVsCold/cold-8         	    1201	    987654 ns/op	  512 B/op	      12 allocs/op
+BenchmarkServingCachedVsCold/cached-8       	   26400	     45123 ns/op
+BenchmarkServingBatchWorkers/workers=4-8    	     800	   1500000 ns/op	      42.5 queries/ms
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Context["goos"] != "linux" || got.Context["pkg"] != "repro" {
+		t.Fatalf("context = %v", got.Context)
+	}
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got.Benchmarks))
+	}
+	b := got.Benchmarks[0]
+	if b.Name != "BenchmarkServingCachedVsCold/cold-8" || b.Iterations != 1201 || b.NsPerOp != 987654 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Metrics["B/op"] != 512 || b.Metrics["allocs/op"] != 12 {
+		t.Fatalf("first benchmark metrics = %v", b.Metrics)
+	}
+	if got.Benchmarks[2].Metrics["queries/ms"] != 42.5 {
+		t.Fatalf("custom metric lost: %+v", got.Benchmarks[2])
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	got, err := parse(strings.NewReader("hello\nBenchmarkBroken\nok  repro 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage", len(got.Benchmarks))
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("first path = %s, want BENCH_1.json", p)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_9.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_3.json" {
+		t.Fatalf("next path = %s, want BENCH_3.json (first gap)", p)
+	}
+}

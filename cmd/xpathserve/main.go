@@ -1,5 +1,6 @@
 // Command xpathserve is an HTTP/JSON server for XPath 1.0 queries: the
-// concurrent serving layer of internal/engine behind four endpoints.
+// sharded document store of internal/store and the concurrent serving
+// layer of internal/engine behind four endpoints.
 //
 // Usage:
 //
@@ -7,15 +8,21 @@
 //
 // Endpoints:
 //
-//	POST /documents  {"name": "d", "xml": "<a><b/></a>"}   register a document
-//	GET  /query?doc=d&q=//b                                 evaluate one query
-//	POST /query      {"doc": "d", "query": "count(//b)"}    same, JSON body
-//	POST /batch      {"doc": "d", "queries": ["//b", ...]}  concurrent batch
-//	GET  /stats                                             cache + in-flight stats
+//	POST   /documents  {"name": "d", "xml": "<a><b/></a>"}   register a document
+//	GET    /documents                                         list documents
+//	DELETE /documents?name=d                                  evict a document
+//	GET    /query?doc=d&q=//b                                 evaluate one query
+//	POST   /query      {"doc": "d", "query": "count(//b)"}    same, JSON body
+//	POST   /batch      {"doc": "d", "queries": ["//b", ...]}  streaming batch (JSON lines)
+//	GET    /stats                                             cache + store + in-flight stats
 //
-// Compiled queries are cached (LRU, -cache entries) keyed by query
-// string and strategy, so repeated queries skip parsing and fragment
-// classification; batches fan out over -workers goroutines.
+// Documents are spread over -shards independently locked store shards
+// (FNV routing) with per-shard byte accounting against -maxbytes and
+// the -evict policy. Compiled queries are cached (LRU, -cache entries);
+// batches fan out over -workers goroutines and stream each result the
+// moment it finishes. Evaluation is tied to the request context:
+// disconnected clients stop burning CPU at the next cancellation
+// checkpoint.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // docFlags collects repeated -doc name=path flags.
@@ -44,8 +52,12 @@ func main() {
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	naiveBudget := flag.Int64("naive-budget", 0, "step budget for naive/datapool strategies (0 = unlimited)")
 	maxRows := flag.Int("maxrows", 0, "context-value table row limit for the bottomup strategy (0 = unlimited)")
+	fallback := flag.Bool("fallback", true, "retry queries that trip the bottomup table limit on mincontext instead of erroring")
 	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "request body size limit in bytes")
 	maxDocs := flag.Int("max-docs", defaultMaxDocuments, "maximum number of retained documents")
+	shards := flag.Int("shards", store.DefaultShards, "document store shard count")
+	maxBytes := flag.Int64("maxbytes", 0, "document store byte budget, divided evenly among shards and enforced per shard (0 = unlimited)")
+	evict := flag.String("evict", "lru", "store policy when the byte budget is exhausted: lru|reject")
 	flag.Var(&docs, "doc", "document to serve, as name=path (repeatable)")
 	flag.Parse()
 
@@ -54,16 +66,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xpathserve: unknown strategy %q\n", *strategy)
 		os.Exit(2)
 	}
+	policy, ok := store.PolicyByName(*evict)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xpathserve: unknown eviction policy %q\n", *evict)
+		os.Exit(2)
+	}
 	eng := engine.New(engine.Options{
 		Strategy:     strat,
 		CacheSize:    *cacheSize,
 		Workers:      *workers,
 		NaiveBudget:  *naiveBudget,
 		MaxTableRows: *maxRows,
+		Fallback:     *fallback,
 	})
-	srv := newServer(eng)
+	srv := newServer(eng, store.Config{
+		Shards:     *shards,
+		MaxBytes:   *maxBytes,
+		MaxEntries: *maxDocs,
+		Policy:     policy,
+	})
 	srv.maxBody = *maxBody
-	srv.maxDocs = *maxDocs
 	for _, spec := range docs {
 		name, path, err := parseDocFlag(spec)
 		if err != nil {
@@ -83,11 +105,12 @@ func main() {
 		log.Printf("loaded %s from %s (%d nodes)", name, path, n)
 	}
 
-	log.Printf("xpathserve listening on %s (strategy=%s cache=%d docs=%v)",
-		*addr, strat, *cacheSize, srv.docNames())
+	log.Printf("xpathserve listening on %s (strategy=%s cache=%d shards=%d docs=%v)",
+		*addr, strat, *cacheSize, *shards, srv.docNames())
 	// Header/idle timeouts bound connection abuse; per-request bodies
 	// are capped by the handler's MaxBytesReader. No WriteTimeout:
-	// large batches on big documents legitimately take a while.
+	// large batches on big documents legitimately take a while, and
+	// /batch streams for as long as the client stays.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),

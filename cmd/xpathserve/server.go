@@ -7,12 +7,13 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
+	"time"
 	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/semantics"
+	"repro/internal/store"
 	"repro/internal/xpath"
 )
 
@@ -35,51 +36,46 @@ const defaultMaxBodyBytes = 32 << 20
 // small POSTs to /documents would grow memory without limit.
 const defaultMaxDocuments = 64
 
-// errTooManyDocs is returned by addDocument when registering a new
-// name would exceed the document cap (replacements always succeed).
-var errTooManyDocs = errors.New("document limit reached")
-
-// server routes HTTP requests onto an engine.Engine and a named set of
-// documents, each wrapped in an engine.Session.
+// server routes HTTP requests onto an engine.Engine and the document
+// store: every named document is an engine.Session held in a sharded
+// store.Store, so lookups on different documents never contend on one
+// lock and the corpus is bounded by the store's entry and byte
+// budgets. The layering is store (placement + memory accounting) →
+// engine (compile cache + evaluation) → this server (wire format).
 type server struct {
 	eng     *engine.Engine
 	maxBody int64
-	maxDocs int
-
-	mu       sync.RWMutex
-	sessions map[string]*engine.Session
+	docs    store.Store[*engine.Session]
 }
 
-func newServer(eng *engine.Engine) *server {
+func newServer(eng *engine.Engine, cfg store.Config) *server {
+	if cfg.MaxEntries == 0 {
+		cfg.MaxEntries = defaultMaxDocuments
+	}
 	return &server{
-		eng:      eng,
-		maxBody:  defaultMaxBodyBytes,
-		maxDocs:  defaultMaxDocuments,
-		sessions: make(map[string]*engine.Session),
+		eng:     eng,
+		maxBody: defaultMaxBodyBytes,
+		docs:    store.NewSharded[*engine.Session](cfg),
 	}
 }
 
 // addDocument parses xml and registers it under name, replacing any
-// previous document with that name. It returns the node count.
+// previous document with that name. The document is accounted against
+// the store's byte budget at its serialized size. It returns the node
+// count.
 func (s *server) addDocument(name, xml string) (int, error) {
 	d, err := core.ParseString(xml)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, replacing := s.sessions[name]; !replacing && len(s.sessions) >= s.maxDocs {
-		return 0, fmt.Errorf("%w (%d)", errTooManyDocs, s.maxDocs)
+	if err := s.docs.Put(name, s.eng.NewSession(d), int64(len(xml))); err != nil {
+		return 0, err
 	}
-	s.sessions[name] = s.eng.NewSession(d)
 	return d.Len(), nil
 }
 
 func (s *server) session(name string) (*engine.Session, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sess, ok := s.sessions[name]
-	return sess, ok
+	return s.docs.Get(name)
 }
 
 func (s *server) handler() http.Handler {
@@ -147,8 +143,17 @@ type queryResponse struct {
 	Query    string     `json:"query"`
 	Fragment string     `json:"fragment"`
 	Strategy string     `json:"strategy"`
+	Fallback bool       `json:"fallback,omitempty"`
 	Value    *valueJSON `json:"value,omitempty"`
 	Error    string     `json:"error,omitempty"`
+}
+
+// batchLine is one streamed /batch result: the query's input index plus
+// the same shape /query responds with. Lines are emitted in completion
+// order; consumers reassemble input order from "index".
+type batchLine struct {
+	Index int `json:"index"`
+	queryResponse
 }
 
 // kindName renders a value kind for the JSON API (the xpath package's
@@ -193,21 +198,20 @@ func renderValue(d *core.Document, v core.Value) *valueJSON {
 	return out
 }
 
-// answer evaluates one query against a session and renders the
-// response; compile and evaluation errors land in the Error field.
-func (s *server) answer(sess *engine.Session, src string) queryResponse {
-	return s.render(sess, sess.Do(src))
-}
-
 // render turns an evaluation outcome into a response, annotating it
 // with the fragment classification and chosen algorithm straight off
 // the compiled query (no second cache lookup, so /stats counts each
-// served query exactly once).
+// served query exactly once). A result rescued by the table-limit
+// fallback reports the strategy that actually produced the value.
 func (s *server) render(sess *engine.Session, res engine.Result) queryResponse {
 	resp := queryResponse{Query: res.Query}
 	if res.Compiled != nil {
 		resp.Fragment = res.Compiled.Fragment().String()
 		resp.Strategy = sess.StrategyFor(res.Compiled).String()
+	}
+	if res.FellBack {
+		resp.Strategy = core.MinContext.String()
+		resp.Fallback = true
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
@@ -217,11 +221,42 @@ func (s *server) render(sess *engine.Session, res engine.Result) queryResponse {
 	return resp
 }
 
+// handleDocuments manages the corpus: POST registers, GET lists with
+// shard placement, DELETE evicts.
 func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST a {name, xml} object")
-		return
+	switch r.Method {
+	case http.MethodPost:
+		s.handleDocumentPost(w, r)
+	case http.MethodGet:
+		type docInfo struct {
+			Name  string `json:"name"`
+			Nodes int    `json:"nodes"`
+			Bytes int64  `json:"bytes"`
+		}
+		docs := []docInfo{}
+		s.docs.Range(func(name string, sess *engine.Session, size int64) bool {
+			docs = append(docs, docInfo{Name: name, Nodes: sess.Document().Len(), Bytes: size})
+			return true
+		})
+		sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+		writeJSON(w, http.StatusOK, map[string]any{"documents": docs})
+	case http.MethodDelete:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			httpError(w, http.StatusBadRequest, "name is required")
+			return
+		}
+		if !s.docs.Delete(name) {
+			httpError(w, http.StatusNotFound, "unknown document %q", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST a {name, xml} object, GET to list, DELETE ?name= to evict")
 	}
+}
+
+func (s *server) handleDocumentPost(w http.ResponseWriter, r *http.Request) {
 	var req documentRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -231,11 +266,14 @@ func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n, err := s.addDocument(req.Name, req.XML)
-	if errors.Is(err, errTooManyDocs) {
-		httpError(w, http.StatusInsufficientStorage, "%v; replace an existing document or raise -max-docs", err)
+	switch {
+	case errors.Is(err, store.ErrFull):
+		httpError(w, http.StatusInsufficientStorage, "document store full: %v; delete or replace a document, or raise -max-docs/-maxbytes", err)
 		return
-	}
-	if err != nil {
+	case errors.Is(err, store.ErrTooLarge):
+		httpError(w, http.StatusRequestEntityTooLarge, "document %s exceeds the per-shard byte budget: %v", req.Name, err)
+		return
+	case err != nil:
 		httpError(w, http.StatusBadRequest, "parse %s: %v", req.Name, err)
 		return
 	}
@@ -243,7 +281,8 @@ func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleQuery accepts POST {doc, query} or GET ?doc=...&q=... (the
-// curl-friendly form).
+// curl-friendly form). Evaluation is tied to the request context: a
+// client that disconnects stops its query at the next checkpoint.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	switch r.Method {
@@ -267,7 +306,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown document %q", req.Doc)
 		return
 	}
-	resp := s.answer(sess, req.Query)
+	resp := s.render(sess, sess.DoContext(r.Context(), req.Query))
 	status := http.StatusOK
 	if resp.Error != "" {
 		status = http.StatusUnprocessableEntity
@@ -275,6 +314,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// handleBatch streams per-query results as chunked JSON lines
+// (application/x-ndjson): each line carries the query's input index
+// and is written the moment its worker finishes, so the first results
+// are on the wire while later queries are still evaluating. The batch
+// is wired to the request context end to end — when the client
+// disconnects, queued queries are never dispatched and in-flight
+// evaluations stop at their next cancellation checkpoint.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a {doc, queries} object")
@@ -293,14 +339,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown document %q", req.Doc)
 		return
 	}
-	// Compile through the shared cache and fan evaluation out over the
-	// session's worker pool; results come back in input order.
-	results := sess.Batch(req.Queries)
-	out := make([]queryResponse, len(results))
-	for i, res := range results {
-		out[i] = s.render(sess, res)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"doc": req.Doc, "results": out})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	sess.StreamBatch(ctx, req.Queries, func(i int, res engine.Result) {
+		if ctx.Err() != nil {
+			return // client is gone; drop the line, workers are winding down
+		}
+		enc.Encode(batchLine{Index: i, queryResponse: s.render(sess, res)})
+		if fl != nil {
+			fl.Flush()
+		}
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -309,24 +362,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.eng.Stats()
-	s.mu.RLock()
-	docs := make(map[string]int, len(s.sessions))
-	for name, sess := range s.sessions {
+	docs := map[string]int{}
+	s.docs.Range(func(name string, sess *engine.Session, _ int64) bool {
 		docs[name] = sess.Document().Len()
-	}
-	s.mu.RUnlock()
+		return true
+	})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache": map[string]any{
-			"hits":      st.Hits,
-			"misses":    st.Misses,
-			"evictions": st.Evictions,
-			"size":      st.Size,
-			"capacity":  st.Capacity,
-			"hit_rate":  st.HitRate(),
+			"hits":               st.Hits,
+			"misses":             st.Misses,
+			"evictions":          st.Evictions,
+			"size":               st.Size,
+			"capacity":           st.Capacity,
+			"hit_rate":           st.HitRate(),
+			"compile_ns_saved":   st.CompileNanosSaved,
+			"compile_time_saved": (time.Duration(st.CompileNanosSaved)).String(),
 		},
 		"in_flight": st.InFlight,
+		"fallbacks": st.Fallbacks,
 		"strategy":  s.eng.Strategy().String(),
 		"documents": docs,
+		"store":     s.docs.Stats(),
 	})
 }
 
@@ -361,12 +417,11 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // docNames returns the registered document names, sorted (for logs).
 func (s *server) docNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.sessions))
-	for name := range s.sessions {
+	var names []string
+	s.docs.Range(func(name string, _ *engine.Session, _ int64) bool {
 		names = append(names, name)
-	}
+		return true
+	})
 	sort.Strings(names)
 	return names
 }

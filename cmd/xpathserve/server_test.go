@@ -1,22 +1,28 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 	"unicode/utf8"
 
+	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(engine.New(engine.Options{CacheSize: 64, Workers: 4}))
+	srv := newServer(engine.New(engine.Options{CacheSize: 64, Workers: 4}), store.Config{})
 	if _, err := srv.addDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
 		t.Fatal(err)
 	}
@@ -117,29 +123,171 @@ func TestDocumentsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed XML status = %d, want 400", resp.StatusCode)
 	}
+
+	// GET lists both documents; DELETE evicts one.
+	resp, out = getJSON(t, ts.URL+"/documents")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	if docs := out["documents"].([]any); len(docs) != 2 {
+		t.Fatalf("listed %d documents, want 2: %v", len(docs), docs)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/documents?name=mini", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", dresp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/query?doc=mini&q=count(//b)"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted document still served: %d", resp.StatusCode)
+	}
+}
+
+// readBatchLines consumes a streaming /batch response body.
+func readBatchLines(t *testing.T, resp *http.Response) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad batch line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
 }
 
 func TestBatchEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 	queries := []string{"count(//product)", "//[", "sum(//price) > 0"}
-	resp, out := postJSON(t, ts.URL+"/batch", batchRequest{Doc: "catalog", Queries: queries})
+	buf, _ := json.Marshal(batchRequest{Doc: "catalog", Queries: queries})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	results := out["results"].([]any)
-	if len(results) != 3 {
-		t.Fatalf("got %d results, want 3", len(results))
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
 	}
-	for i, r := range results {
-		if q := r.(map[string]any)["query"]; q != queries[i] {
-			t.Fatalf("result %d is for %v, want %q", i, q, queries[i])
+	lines := readBatchLines(t, resp)
+	if len(lines) != 3 {
+		t.Fatalf("got %d result lines, want 3", len(lines))
+	}
+	// Results arrive in completion order; reassemble by index.
+	byIndex := make([]map[string]any, 3)
+	for _, line := range lines {
+		i := int(line["index"].(float64))
+		if byIndex[i] != nil {
+			t.Fatalf("index %d emitted twice", i)
+		}
+		byIndex[i] = line
+	}
+	for i, line := range byIndex {
+		if line == nil {
+			t.Fatalf("index %d missing from stream", i)
+		}
+		if line["query"] != queries[i] {
+			t.Fatalf("index %d is for %v, want %q", i, line["query"], queries[i])
 		}
 	}
-	if errMsg, ok := results[1].(map[string]any)["error"]; !ok || errMsg == "" {
+	if errMsg, ok := byIndex[1]["error"]; !ok || errMsg == "" {
 		t.Fatal("invalid query in batch carried no error")
 	}
-	if val := results[2].(map[string]any)["value"].(map[string]any); val["boolean"] != true {
+	if val := byIndex[2]["value"].(map[string]any); val["boolean"] != true {
 		t.Fatalf("sum(//price) > 0 = %v, want true", val["boolean"])
+	}
+}
+
+// slowBatchQuery takes >10s on slowBatchDoc under every polynomial
+// engine (the predicate forces an O(|D|²) tabulation), while carrying
+// cancellation checkpoints throughout — the workload for the streaming
+// and cancellation tests.
+const slowBatchQuery = "count(//*[count(preceding::*) > count(following::*)])"
+
+func slowBatchDoc() string {
+	return workload.Doc(10000).XMLString()
+}
+
+// TestBatchStreamsBeforeCompletion is the streaming acceptance test:
+// with one worker stuck on a slow query, the fast query's result line
+// must arrive on the wire while the slow one is still evaluating —
+// i.e. /batch no longer buffers the whole batch. It then disconnects
+// the client and verifies the in-flight evaluation is cancelled.
+func TestBatchStreamsBeforeCompletion(t *testing.T) {
+	srv := newServer(engine.New(engine.Options{CacheSize: 16, Workers: 2}), store.Config{})
+	if _, err := srv.addDocument("big", slowBatchDoc()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	// Slow query first: the unbuffered dispatch channel guarantees a
+	// worker has accepted it before the fast query is even handed out.
+	buf, _ := json.Marshal(batchRequest{Doc: "big", Queries: []string{slowBatchQuery, "1 = 1"}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/batch", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first streamed line: %v", err)
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(line), &first); err != nil {
+		t.Fatalf("first line %q: %v", line, err)
+	}
+	if first["index"].(float64) != 1 {
+		t.Fatalf("first streamed line is index %v, want 1 (the fast query)", first["index"])
+	}
+	// The slow query must still be evaluating: the first result was on
+	// the wire before the batch finished. Poll briefly — on a 1-CPU box
+	// the slow query's worker may have accepted its index but not yet
+	// reached the in-flight increment when the fast line lands.
+	inFlightSeen := false
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); time.Sleep(time.Millisecond) {
+		if srv.eng.Stats().InFlight >= 1 {
+			inFlightSeen = true
+			break
+		}
+	}
+	if !inFlightSeen {
+		t.Fatal("slow query never observed in flight after first line (batch completed before streaming)")
+	}
+
+	// Disconnect. The request context propagates to the evaluator's
+	// cancellation checkpoints, so in-flight work must drain promptly —
+	// far faster than the query could possibly finish.
+	cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.eng.Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight evaluation survived disconnect: %+v", srv.eng.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -158,14 +306,77 @@ func TestStatsEndpoint(t *testing.T) {
 	if rate := cache["hit_rate"].(float64); rate != 2.0/3.0 {
 		t.Fatalf("hit_rate = %v, want 2/3", rate)
 	}
+	if saved := cache["compile_ns_saved"].(float64); saved <= 0 {
+		t.Fatalf("compile_ns_saved = %v, want > 0 after two hits", saved)
+	}
 	docs := out["documents"].(map[string]any)
 	if _, ok := docs["catalog"]; !ok {
 		t.Fatalf("documents = %v, want catalog", docs)
 	}
+	st := out["store"].(map[string]any)
+	if st["entries"].(float64) != 1 {
+		t.Fatalf("store stats = %v, want 1 entry", st)
+	}
+	if _, ok := out["fallbacks"]; !ok {
+		t.Fatal("stats missing fallbacks counter")
+	}
+}
+
+// TestFallbackOverHTTP drives the auto-fallback end to end: a bottomup
+// engine with a tiny table budget serves a position-dependent query,
+// and the response must carry the MinContext-rescued value instead of
+// an error, flagged as a fallback, with /stats counting it.
+func TestFallbackOverHTTP(t *testing.T) {
+	srv := newServer(engine.New(engine.Options{
+		Strategy: core.BottomUp, MaxTableRows: 8, Fallback: true,
+	}), store.Config{})
+	if _, err := srv.addDocument("catalog", workload.Catalog(30).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	resp, out := postJSON(t, ts.URL+"/query", queryRequest{Doc: "catalog", Query: "count(//product[position() = last()])"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v (fallback did not rescue)", resp.StatusCode, out)
+	}
+	if out["fallback"] != true || out["strategy"] != "mincontext" {
+		t.Fatalf("response = %v, want fallback=true strategy=mincontext", out)
+	}
+	if val := out["value"].(map[string]any); val["number"] != 1.0 {
+		t.Fatalf("value = %v, want 1", val)
+	}
+	_, stats := getJSON(t, ts.URL+"/stats")
+	if stats["fallbacks"].(float64) != 1 {
+		t.Fatalf("stats fallbacks = %v, want 1", stats["fallbacks"])
+	}
+}
+
+// TestDocumentShardSpread is the acceptance check that the server
+// routes exclusively through the sharded store: a population of
+// documents must land on every configured shard.
+func TestDocumentShardSpread(t *testing.T) {
+	srv := newServer(engine.New(engine.Options{}), store.Config{Shards: 4, MaxEntries: 64})
+	for i := 0; i < 32; i++ {
+		if _, err := srv.addDocument(fmt.Sprintf("doc-%d", i), "<a><b/></a>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.docs.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(st.Shards))
+	}
+	for i, ss := range st.Shards {
+		if ss.Entries == 0 {
+			t.Fatalf("shard %d holds no documents: %+v", i, st.Shards)
+		}
+	}
+	if st.Entries != 32 {
+		t.Fatalf("entries = %d, want 32", st.Entries)
+	}
 }
 
 func TestBodySizeLimit(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}))
+	srv := newServer(engine.New(engine.Options{}), store.Config{})
 	srv.maxBody = 256
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
@@ -185,8 +396,7 @@ func TestBodySizeLimit(t *testing.T) {
 // TestDocumentLimit checks the retained-document cap: new names past
 // the cap are rejected with 507, replacements always go through.
 func TestDocumentLimit(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}))
-	srv.maxDocs = 2
+	srv := newServer(engine.New(engine.Options{}), store.Config{MaxEntries: 2})
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	for _, name := range []string{"one", "two"} {
@@ -206,7 +416,7 @@ func TestDocumentLimit(t *testing.T) {
 // TestResponseTruncation checks that huge string values are clipped in
 // responses (flagged via "truncated") rather than buffered whole.
 func TestResponseTruncation(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}))
+	srv := newServer(engine.New(engine.Options{}), store.Config{})
 	text := strings.Repeat("é", 40<<10) // 80KB of 2-byte runes > maxStringBytes
 	if _, err := srv.addDocument("big", "<a><b>"+text+"</b></a>"); err != nil {
 		t.Fatal(err)
@@ -243,10 +453,17 @@ func TestServerConcurrentTraffic(t *testing.T) {
 						return
 					}
 				case 1:
-					postJSON(t, ts.URL+"/batch", batchRequest{
+					buf, _ := json.Marshal(batchRequest{
 						Doc:     "catalog",
 						Queries: []string{"count(//product)", "sum(//price)"},
 					})
+					resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					readBatchLines(t, resp)
+					resp.Body.Close()
 				default:
 					postJSON(t, ts.URL+"/documents", documentRequest{
 						Name: "catalog", XML: workload.Catalog(12).XMLString(),

@@ -13,16 +13,21 @@
 //     of the paper (naive, datapool, bottomup, topdown, mincontext,
 //     optmincontext/wadler, corexpath, xpatterns).
 //   - internal/core — the public engine API: compile a query once,
-//     evaluate it with a selectable strategy; Auto picks the best
-//     algorithm per query via fragment classification.
+//     evaluate it with a selectable strategy (EvaluateContext for
+//     cancellable evaluation); Auto picks the best algorithm per query
+//     via fragment classification.
 //   - internal/engine — the concurrent serving layer: a thread-safe
 //     LRU cache of compiled queries (compile once per distinct query
-//     under sustained traffic), Sessions binding documents, and a
-//     bounded worker pool for batch evaluation in input order.
-//   - cmd/xpathserve — an HTTP/JSON server over internal/engine with
-//     /query, /batch, /documents and /stats endpoints; the other
-//     cmd/ tools (xpathquery, xpathbench, xpathgrep, xpathexplain,
-//     xmlgen) are one-shot CLIs.
+//     under sustained traffic), Sessions binding documents, a bounded
+//     worker pool with streaming batch evaluation, and automatic
+//     fallback to MinContext when a bottom-up table limit trips.
+//   - internal/store — the storage layer: a sharded, byte-accounted
+//     document store (FNV routing, per-shard locks, LRU or reject
+//     eviction) holding one Session per registered document.
+//   - cmd/xpathserve — an HTTP/JSON server over store + engine with
+//     /query, streaming /batch, /documents and /stats endpoints; the
+//     other cmd/ tools (xpathquery, xpathbench, xpathgrep,
+//     xpathexplain, xmlgen, benchjson) are one-shot CLIs.
 //
 // See internal/core for the engine API, internal/engine for the
 // serving layer, README.md for the strategy table and server examples,

@@ -16,6 +16,7 @@
 package bottomup
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,10 @@ type Evaluator struct {
 	// MaxTableRows guards against accidentally materializing huge
 	// tables (the |D|³ case on large documents); 0 means unlimited.
 	MaxTableRows int
+
+	// cancel is the throttled checkpoint consulted inside every
+	// table-materialization loop; nil (the Evaluate path) never fires.
+	cancel *evalutil.Canceller
 }
 
 // New returns a bottom-up evaluator for the document.
@@ -82,6 +87,17 @@ func (t *table) get(c semantics.Context) (semantics.Value, bool) {
 // Evaluate runs Algorithm 6.3 and reads the result for context c out of
 // the root table.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: the table-building
+// loops check ctx at throttled checkpoints and abandon the evaluation
+// with ctx's error (context.Canceled or DeadlineExceeded) once it is
+// done. Table materialization enumerates up to |D|³ contexts, so this
+// is the difference between an abandoned request releasing its CPU in
+// microseconds and burning minutes.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.cancel = evalutil.NewCanceller(ctx)
 	t, err := ev.buildTable(e)
 	if err != nil {
 		return semantics.Value{}, err
@@ -147,6 +163,9 @@ func (ev *Evaluator) contexts(r xpath.Relev) ([]semantics.Context, error) {
 	}
 	out := make([]semantics.Context, 0, total)
 	for _, x := range nodes {
+		if err := ev.cancel.Check(); err != nil {
+			return nil, err
+		}
 		for _, kn := range pss {
 			out = append(out, semantics.Context{Node: x, Pos: kn.p, Size: kn.s})
 		}
@@ -229,6 +248,9 @@ func (ev *Evaluator) mapTables(r xpath.Relev, subs []*table, f func(semantics.Co
 	t := &table{relev: r, vals: make(map[ctxKey]semantics.Value, len(ctxs))}
 	vs := make([]semantics.Value, len(subs))
 	for _, c := range ctxs {
+		if err := ev.cancel.Check(); err != nil {
+			return nil, err
+		}
 		for i, sub := range subs {
 			v, ok := sub.get(c)
 			if !ok {
@@ -283,6 +305,9 @@ func (ev *Evaluator) stepRelation(step *xpath.Step) (map[xmltree.NodeID]xmltree.
 		predTables[i] = t
 	}
 	for i := 0; i < ev.doc.Len(); i++ {
+		if err := ev.cancel.Check(); err != nil {
+			return nil, err
+		}
 		x := xmltree.NodeID(i)
 		s := evalutil.StepCandidates(ev.doc, step.Axis, step.Test, x)
 		for _, pt := range predTables {
@@ -348,6 +373,9 @@ func (ev *Evaluator) pathTable(p *xpath.Path) (*table, error) {
 		}
 		next := make(map[xmltree.NodeID]xmltree.NodeSet, len(cur))
 		for x, ys := range cur {
+			if err := ev.cancel.Check(); err != nil {
+				return nil, err
+			}
 			var u xmltree.NodeSet
 			for _, y := range ys {
 				u = u.Union(rel[y])
@@ -391,6 +419,9 @@ func (ev *Evaluator) filterTable(f *xpath.FilterExpr) (*table, error) {
 	}
 	t := &table{relev: relev, vals: make(map[ctxKey]semantics.Value, len(ctxs))}
 	for _, c := range ctxs {
+		if err := ev.cancel.Check(); err != nil {
+			return nil, err
+		}
 		v, ok := pt.get(c)
 		if !ok {
 			return nil, fmt.Errorf("bottomup: filter primary missing context")

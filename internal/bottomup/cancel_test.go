@@ -1,0 +1,53 @@
+package bottomup
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/semantics"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// TestEvaluateContextCancelsPromptly cancels a context mid-evaluation
+// on a document large enough that the full evaluation takes upward of
+// a second (the predicate tabulation is O(|D|²) here) and asserts the
+// evaluator returns context.Canceled within the checkpoint latency,
+// not after finishing the work. Run under -race in CI.
+func TestEvaluateContextCancelsPromptly(t *testing.T) {
+	d := workload.Doc(1500)
+	e := xpath.MustParse("count(//*[count(preceding::*) > count(following::*)])")
+	ev := New(d)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ev.EvaluateContext(ctx, e, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the table build get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("evaluation did not return promptly after cancellation")
+	}
+}
+
+// TestEvaluateContextUncancelled pins down that a context that is never
+// cancelled changes nothing about the result.
+func TestEvaluateContextUncancelled(t *testing.T) {
+	d := workload.Doc(8)
+	e := xpath.MustParse("count(//b)")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	v, err := New(d).EvaluateContext(ctx, e, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
+	if err != nil || v.Num != 8 {
+		t.Fatalf("got %v, %v; want 8, nil", v.Num, err)
+	}
+}

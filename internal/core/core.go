@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -250,28 +251,53 @@ func (en *Engine) StrategyFor(q *Query) Strategy {
 
 // Evaluate computes the query's value for an explicit context.
 func (en *Engine) Evaluate(q *Query, c Context) (Value, error) {
+	return en.EvaluateContext(context.Background(), q, c)
+}
+
+// EvaluateContext computes the query's value for an explicit context,
+// abandoning the evaluation with ctx's error once ctx is done. The
+// polynomial engines (BottomUp, TopDown, MinContext, OptMinContext —
+// and therefore Auto) carry cancellation checkpoints inside their
+// document-sized loops, so an abandoned request stops burning CPU
+// mid-query; the linear-time fragment engines finish faster than a
+// checkpoint would pay for itself and the deliberately exponential
+// baselines (Naive, DataPool) are bounded by NaiveBudget instead, so
+// for those strategies ctx is only consulted before evaluation starts.
+func (en *Engine) EvaluateContext(ctx context.Context, q *Query, c Context) (Value, error) {
 	switch en.StrategyFor(q) {
 	case Naive:
+		if err := ctx.Err(); err != nil {
+			return Value{}, err
+		}
 		ev := naive.New(en.doc)
 		ev.Budget = en.NaiveBudget
 		return ev.Evaluate(q.expr, c)
 	case DataPool:
+		if err := ctx.Err(); err != nil {
+			return Value{}, err
+		}
 		ev, _ := datapool.NewEvaluator(en.doc)
 		ev.Budget = en.NaiveBudget
 		return ev.Evaluate(q.expr, c)
 	case BottomUp:
 		ev := bottomup.New(en.doc)
 		ev.MaxTableRows = en.MaxTableRows
-		return ev.Evaluate(q.expr, c)
+		return ev.EvaluateContext(ctx, q.expr, c)
 	case TopDown:
-		return topdown.New(en.doc).Evaluate(q.expr, c)
+		return topdown.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	case MinContext:
-		return mincontext.New(en.doc).Evaluate(q.expr, c)
+		return mincontext.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	case OptMinContext:
-		return wadler.New(en.doc).Evaluate(q.expr, c)
+		return wadler.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	case CoreXPath:
+		if err := ctx.Err(); err != nil {
+			return Value{}, err
+		}
 		return corexpath.New(en.doc).Evaluate(q.expr, c)
 	case XPatterns:
+		if err := ctx.Err(); err != nil {
+			return Value{}, err
+		}
 		return xpatterns.New(en.doc).Evaluate(q.expr, c)
 	default:
 		return Value{}, fmt.Errorf("core: unknown strategy %v", en.strategy)

@@ -36,11 +36,19 @@ type queryCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// savedNanos accumulates, over every cache hit, the compile time
+	// the hit avoided re-spending — each entry remembers what its own
+	// compilation cost, so the sum is per-query-accurate rather than a
+	// fleet average.
+	savedNanos uint64
 }
 
 type cacheEntry struct {
 	key cacheKey
 	q   *core.Query
+	// compileNanos is what compiling this entry cost at admission; each
+	// hit credits this amount to the cache's savedNanos.
+	compileNanos uint64
 }
 
 func newQueryCache(capacity int) *queryCache {
@@ -65,21 +73,24 @@ func (c *queryCache) get(k cacheKey) (*core.Query, bool) {
 		return nil, false
 	}
 	c.hits++
+	e := el.Value.(*cacheEntry)
+	c.savedNanos += e.compileNanos
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).q, true
+	return e.q, true
 }
 
-// add inserts a compiled query, evicting the least recently used entry
-// if the cache is full. If another goroutine added the key first, its
-// entry is kept and returned.
-func (c *queryCache) add(k cacheKey, q *core.Query) *core.Query {
+// add inserts a compiled query (recording what it cost to compile),
+// evicting the least recently used entry if the cache is full. If
+// another goroutine added the key first, its entry is kept and
+// returned.
+func (c *queryCache) add(k cacheKey, q *core.Query, compileNanos uint64) *core.Query {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		return el.Value.(*cacheEntry).q
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, q: q})
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, q: q, compileNanos: compileNanos})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -91,8 +102,8 @@ func (c *queryCache) add(k cacheKey, q *core.Query) *core.Query {
 
 // snapshot returns the counters and current size under one lock
 // acquisition, so Stats readings are internally consistent.
-func (c *queryCache) snapshot() (hits, misses, evictions uint64, size, capacity int) {
+func (c *queryCache) snapshot() (hits, misses, evictions, savedNanos uint64, size, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.ll.Len(), c.capacity
+	return c.hits, c.misses, c.evictions, c.savedNanos, c.ll.Len(), c.capacity
 }

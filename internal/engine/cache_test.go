@@ -16,30 +16,33 @@ func TestCacheHitMissEviction(t *testing.T) {
 	if _, ok := c.get(k(0)); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.add(k(0), q(0))
-	c.add(k(1), q(1))
+	c.add(k(0), q(0), 10)
+	c.add(k(1), q(1), 10)
 	if _, ok := c.get(k(0)); !ok {
 		t.Fatal("miss after add")
 	}
 	// 0 is now most recent; adding 2 must evict 1.
-	c.add(k(2), q(2))
+	c.add(k(2), q(2), 10)
 	if _, ok := c.get(k(1)); ok {
 		t.Fatal("LRU entry survived eviction")
 	}
 	if _, ok := c.get(k(0)); !ok {
 		t.Fatal("recently used entry was evicted")
 	}
-	hits, misses, evictions, size, capacity := c.snapshot()
+	hits, misses, evictions, saved, size, capacity := c.snapshot()
 	if hits != 2 || misses != 2 || evictions != 1 || size != 2 || capacity != 2 {
 		t.Fatalf("snapshot = hits %d misses %d evictions %d size %d cap %d, want 2 2 1 2 2",
 			hits, misses, evictions, size, capacity)
+	}
+	if saved != 2*10 {
+		t.Fatalf("savedNanos = %d, want 20 (two hits at 10ns recorded compile cost)", saved)
 	}
 }
 
 func TestCacheKeyIncludesStrategy(t *testing.T) {
 	c := newQueryCache(8)
 	q := core.MustCompile("//a")
-	c.add(cacheKey{src: "//a", strategy: core.Auto}, q)
+	c.add(cacheKey{src: "//a", strategy: core.Auto}, q, 10)
 	if _, ok := c.get(cacheKey{src: "//a", strategy: core.Naive}); ok {
 		t.Fatal("strategy is not part of the cache key")
 	}
@@ -68,7 +71,7 @@ func TestCacheConcurrent(t *testing.T) {
 						t.Error(err)
 						return
 					}
-					q = c.add(k, compiled)
+					q = c.add(k, compiled, 10)
 				}
 				if q.String() != src {
 					t.Errorf("cache returned query %q for key %q", q.String(), src)
@@ -78,7 +81,7 @@ func TestCacheConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	hits, misses, evictions, size, _ := c.snapshot()
+	hits, misses, evictions, _, size, _ := c.snapshot()
 	if size > capacity {
 		t.Fatalf("cache size %d exceeds capacity %d", size, capacity)
 	}
@@ -103,7 +106,7 @@ func TestCacheConcurrentAddSameKey(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			got[g] = c.add(k, core.MustCompile("//a/b"))
+			got[g] = c.add(k, core.MustCompile("//a/b"), 10)
 		}(g)
 	}
 	wg.Wait()

@@ -21,6 +21,7 @@ package engine
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -50,14 +51,22 @@ type Options struct {
 	// MaxTableRows bounds bottom-up context-value tables
 	// (0 = unlimited); see core.Engine.MaxTableRows.
 	MaxTableRows int
+
+	// Fallback, when set, transparently retries a query whose
+	// evaluation tripped bottomup.ErrTableLimit on the MinContext
+	// strategy (polynomial space) instead of surfacing the error; each
+	// retry is counted in Stats.Fallbacks. Off by default so callers
+	// that configured an explicit resource limit still see it fire.
+	Fallback bool
 }
 
 // Engine caches compiled queries and spawns Sessions over documents.
 // It is safe for concurrent use.
 type Engine struct {
-	opts     Options
-	cache    *queryCache
-	inFlight atomic.Int64
+	opts      Options
+	cache     *queryCache
+	inFlight  atomic.Int64
+	fallbacks atomic.Uint64
 }
 
 // New creates an Engine. Zero-valued Options fields take defaults.
@@ -82,11 +91,12 @@ func (e *Engine) Compile(src string) (*core.Query, error) {
 	if q, ok := e.cache.get(k); ok {
 		return q, nil
 	}
+	start := time.Now()
 	q, err := core.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.cache.add(k, q), nil
+	return e.cache.add(k, q, uint64(time.Since(start))), nil
 }
 
 // Stats is a point-in-time reading of the engine's observable state.
@@ -94,11 +104,18 @@ type Stats struct {
 	// Hits, Misses and Evictions count compiled-query cache events
 	// since the engine was created.
 	Hits, Misses, Evictions uint64
+	// CompileNanosSaved is the cumulative compile time cache hits
+	// avoided re-spending, summed from each entry's own recorded
+	// compilation cost.
+	CompileNanosSaved uint64
 	// Size and Capacity describe the cache's current fill.
 	Size, Capacity int
 	// InFlight counts evaluations currently executing across all
 	// sessions.
 	InFlight int64
+	// Fallbacks counts queries transparently retried on MinContext
+	// after tripping bottomup.ErrTableLimit (see Options.Fallback).
+	Fallbacks uint64
 }
 
 // HitRate returns the cache hit fraction in [0, 1] (0 before any
@@ -113,10 +130,12 @@ func (s Stats) HitRate() float64 {
 
 // Stats returns current cache and in-flight statistics.
 func (e *Engine) Stats() Stats {
-	hits, misses, evictions, size, capacity := e.cache.snapshot()
+	hits, misses, evictions, saved, size, capacity := e.cache.snapshot()
 	return Stats{
 		Hits: hits, Misses: misses, Evictions: evictions,
-		Size: size, Capacity: capacity,
-		InFlight: e.inFlight.Load(),
+		CompileNanosSaved: saved,
+		Size:              size, Capacity: capacity,
+		InFlight:  e.inFlight.Load(),
+		Fallbacks: e.fallbacks.Load(),
 	}
 }

@@ -1,19 +1,25 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"sync"
 
+	"repro/internal/bottomup"
 	"repro/internal/core"
 )
 
 // Session binds a parsed document to an Engine. All evaluations run
 // from the document root with the engine's strategy and share the
 // engine's compiled-query cache. A Session is safe for concurrent use;
-// many sessions (one per document) may share one Engine.
+// many sessions (one per document) may share one Engine. Sessions are
+// what the serving layer's document store holds: one entry per
+// registered document.
 type Session struct {
 	eng     *Engine
 	doc     *core.Document
 	en      *core.Engine
+	fb      *core.Engine // MinContext engine for ErrTableLimit fallback
 	workers int
 }
 
@@ -22,19 +28,26 @@ func (e *Engine) NewSession(d *core.Document) *Session {
 	en := core.NewEngine(d, e.opts.Strategy)
 	en.NaiveBudget = e.opts.NaiveBudget
 	en.MaxTableRows = e.opts.MaxTableRows
-	return &Session{eng: e, doc: d, en: en, workers: e.opts.Workers}
+	s := &Session{eng: e, doc: d, en: en, workers: e.opts.Workers}
+	if e.opts.Fallback {
+		s.fb = core.NewEngine(d, core.MinContext)
+	}
+	return s
 }
 
 // Document returns the session's document.
 func (s *Session) Document() *core.Document { return s.doc }
 
 // Result is the full outcome of one query: the compiled form (nil when
-// compilation failed) and exactly one of Value and Err.
+// compilation failed) and exactly one of Value and Err. FellBack
+// reports that the configured strategy tripped its resource limit and
+// the value was produced by the MinContext retry instead.
 type Result struct {
 	Query    string
 	Compiled *core.Query
 	Value    core.Value
 	Err      error
+	FellBack bool
 }
 
 // Do compiles src through the engine's cache and evaluates it from the
@@ -42,6 +55,12 @@ type Result struct {
 // fragment classification or chosen algorithm read them off
 // Result.Compiled without a second cache lookup.
 func (s *Session) Do(src string) Result {
+	return s.DoContext(context.Background(), src)
+}
+
+// DoContext is Do with cancellation: evaluation is abandoned with ctx's
+// error (in Result.Err) once ctx is done.
+func (s *Session) DoContext(ctx context.Context, src string) Result {
 	res := Result{Query: src}
 	q, err := s.eng.Compile(src)
 	if err != nil {
@@ -49,7 +68,7 @@ func (s *Session) Do(src string) Result {
 		return res
 	}
 	res.Compiled = q
-	res.Value, res.Err = s.Evaluate(q)
+	res.Value, res.FellBack, res.Err = s.evaluate(ctx, q)
 	return res
 }
 
@@ -66,9 +85,32 @@ func (s *Session) StrategyFor(q *core.Query) core.Strategy { return s.en.Strateg
 
 // Evaluate runs an already-compiled query from the document root.
 func (s *Session) Evaluate(q *core.Query) (core.Value, error) {
+	return s.EvaluateContext(context.Background(), q)
+}
+
+// EvaluateContext runs an already-compiled query from the document
+// root, abandoning the evaluation once ctx is done.
+func (s *Session) EvaluateContext(ctx context.Context, q *core.Query) (core.Value, error) {
+	v, _, err := s.evaluate(ctx, q)
+	return v, err
+}
+
+// evaluate is the one evaluation path: in-flight accounting, the
+// engine's strategy, and — when Options.Fallback is set and the
+// strategy tripped bottomup.ErrTableLimit — a transparent retry on
+// MinContext, whose tables are polynomial in the document and so
+// cannot trip a row limit.
+func (s *Session) evaluate(ctx context.Context, q *core.Query) (core.Value, bool, error) {
 	s.eng.inFlight.Add(1)
 	defer s.eng.inFlight.Add(-1)
-	return s.en.Evaluate(q, core.Context{Node: s.doc.RootID(), Pos: 1, Size: 1})
+	root := core.Context{Node: s.doc.RootID(), Pos: 1, Size: 1}
+	v, err := s.en.EvaluateContext(ctx, q, root)
+	if err != nil && s.fb != nil && errors.Is(err, bottomup.ErrTableLimit) {
+		s.eng.fallbacks.Add(1)
+		v, err = s.fb.EvaluateContext(ctx, q, root)
+		return v, true, err
+	}
+	return v, false, err
 }
 
 // Batch evaluates queries concurrently over a worker pool bounded by
@@ -76,16 +118,33 @@ func (s *Session) Evaluate(q *core.Query) (core.Value, error) {
 // query does not abort the rest; each Result carries its own error.
 func (s *Session) Batch(queries []string) []Result {
 	out := make([]Result, len(queries))
+	s.StreamBatch(context.Background(), queries, func(i int, res Result) { out[i] = res })
+	return out
+}
+
+// StreamBatch evaluates queries concurrently over the session's worker
+// pool and hands each Result to emit the moment it is ready, tagged
+// with the query's input index — no buffering, no input-order barrier.
+// Calls to emit are serialized (emit itself need not be thread-safe)
+// but arrive in completion order. When ctx is cancelled, in-flight
+// evaluations are abandoned at their next checkpoint, not-yet-started
+// queries are never dispatched, and StreamBatch returns ctx's error;
+// it returns nil after emitting every result.
+func (s *Session) StreamBatch(ctx context.Context, queries []string, emit func(int, Result)) error {
 	workers := s.workers
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
 		for i, src := range queries {
-			out[i] = s.Do(src)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			emit(i, s.DoContext(ctx, src))
 		}
-		return out
+		return ctx.Err()
 	}
+	var mu sync.Mutex
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -93,14 +152,23 @@ func (s *Session) Batch(queries []string) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = s.Do(queries[i])
+				res := s.DoContext(ctx, queries[i])
+				mu.Lock()
+				emit(i, res)
+				mu.Unlock()
 			}
 		}()
 	}
 	for i := range queries {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			close(idx)
+			wg.Wait()
+			return ctx.Err()
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return out
+	return ctx.Err()
 }

@@ -21,6 +21,7 @@
 package mincontext
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/evalutil"
@@ -63,7 +64,15 @@ func (ev *Evaluator) SetPrecomputed(e xpath.Expr, vals []bool) {
 // through eval_outermost_locpath; any other query is tabulated by
 // eval_by_cnode_only and then read off with eval_single_context.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: the tabulation and
+// per-pair position loops check ctx at throttled checkpoints and
+// abandon the evaluation with ctx's error once it is done.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
 	st := newState(ev)
+	st.cancel = evalutil.NewCanceller(ctx)
 	if isLocationPath(e) {
 		s, err := st.evalOutermostLocpath(e, xmltree.NodeSet{c.Node})
 		if err != nil {
@@ -126,6 +135,10 @@ type state struct {
 	tables  map[xpath.Expr]*table
 	rels    map[xpath.Expr]map[xmltree.NodeID]xmltree.NodeSet
 	covered map[xpath.Expr]map[xmltree.NodeID]bool
+
+	// cancel is the throttled cancellation checkpoint for this query;
+	// nil (the Evaluate path) never fires.
+	cancel *evalutil.Canceller
 }
 
 func newState(ev *Evaluator) *state {
@@ -247,6 +260,9 @@ func (st *state) evalOutermostStep(step *xpath.Step, x xmltree.NodeSet) (xmltree
 	if !st.stepNeedsPositions(step) {
 		var r xmltree.NodeSet
 		for _, n := range y {
+			if err := st.cancel.Check(); err != nil {
+				return nil, err
+			}
 			ok := true
 			for _, pred := range step.Preds {
 				v, err := st.evalSingleContext(pred, semantics.Context{Node: n, Pos: -1, Size: -1})
@@ -267,11 +283,17 @@ func (st *state) evalOutermostStep(step *xpath.Step, x xmltree.NodeSet) (xmltree
 	// Some predicate depends on cp or cs: loop over pairs ⟨x, z⟩.
 	var r xmltree.NodeSet
 	for _, xn := range x {
+		if err := st.cancel.Check(); err != nil {
+			return nil, err
+		}
 		z := axesFilter(st.doc, step, xn, y)
 		for _, pred := range step.Preds {
 			ordered := evalutil.AxisOrdered(step.Axis, z)
 			var keep []xmltree.NodeID
 			for j, zn := range ordered {
+				if err := st.cancel.Check(); err != nil {
+					return nil, err
+				}
 				v, err := st.evalSingleContext(pred, semantics.Context{Node: zn, Pos: j + 1, Size: len(ordered)})
 				if err != nil {
 					return nil, err
@@ -376,6 +398,9 @@ func (st *state) evalByCnodeOnly(e xpath.Expr, x xmltree.NodeSet) error {
 		return nil
 	}
 	for _, n := range todo {
+		if err := st.cancel.Check(); err != nil {
+			return err
+		}
 		c := semantics.Context{Node: n, Pos: -1, Size: -1}
 		v, err := st.apply(e, c)
 		if err != nil {
@@ -406,6 +431,9 @@ func (st *state) evalFilterByCnode(fe *xpath.FilterExpr, x xmltree.NodeSet) erro
 		ctxNodes = xmltree.NodeSet{xmltree.NilNode}
 	}
 	for _, n := range ctxNodes {
+		if err := st.cancel.Check(); err != nil {
+			return err
+		}
 		c := semantics.Context{Node: n, Pos: -1, Size: -1}
 		pv, err := st.evalSingleContext(fe.Primary, c)
 		if err != nil {
@@ -616,6 +644,9 @@ func (st *state) evalInnerLocpath(p *xpath.Path, x xmltree.NodeSet) (map[xmltree
 		}
 		next := make(map[xmltree.NodeID]xmltree.NodeSet, len(cur))
 		for x0, ys := range cur {
+			if err := st.cancel.Check(); err != nil {
+				return nil, err
+			}
 			var u xmltree.NodeSet
 			for _, y := range ys {
 				u = u.Union(rel[y])
@@ -644,6 +675,9 @@ func (st *state) evalInnerStep(step *xpath.Step, x xmltree.NodeSet) (map[xmltree
 		for _, pred := range step.Preds {
 			var keep []xmltree.NodeID
 			for _, n := range yKeep {
+				if err := st.cancel.Check(); err != nil {
+					return nil, err
+				}
 				v, err := st.evalSingleContext(pred, semantics.Context{Node: n, Pos: -1, Size: -1})
 				if err != nil {
 					return nil, err
@@ -655,6 +689,9 @@ func (st *state) evalInnerStep(step *xpath.Step, x xmltree.NodeSet) (map[xmltree
 			yKeep = xmltree.NewNodeSet(keep...)
 		}
 		for _, xn := range x {
+			if err := st.cancel.Check(); err != nil {
+				return nil, err
+			}
 			img := evalutil.StepCandidates(st.doc, step.Axis, step.Test, xn)
 			rel[xn] = img.Intersect(yKeep)
 		}
@@ -666,6 +703,9 @@ func (st *state) evalInnerStep(step *xpath.Step, x xmltree.NodeSet) (map[xmltree
 			ordered := evalutil.AxisOrdered(step.Axis, z)
 			var keep []xmltree.NodeID
 			for j, zn := range ordered {
+				if err := st.cancel.Check(); err != nil {
+					return nil, err
+				}
 				v, err := st.evalSingleContext(pred, semantics.Context{Node: zn, Pos: j + 1, Size: len(ordered)})
 				if err != nil {
 					return nil, err

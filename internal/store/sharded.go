@@ -1,0 +1,238 @@
+package store
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 8
+
+// Config sizes a Sharded store. The zero value means DefaultShards
+// shards with no byte or entry budget.
+type Config struct {
+	// Shards is the number of independently locked shards (default
+	// DefaultShards). Keys are routed by FNV-1a hash, so a fixed key
+	// always lands on the same shard for a given shard count.
+	Shards int
+	// MaxBytes bounds the summed entry sizes across the store
+	// (0 = unlimited). The budget is divided evenly among shards; each
+	// shard enforces its slice independently, so per-shard accounting
+	// never needs a global lock.
+	MaxBytes int64
+	// MaxEntries bounds the number of distinct keys across the whole
+	// store (0 = unlimited). Replacements are always admitted.
+	MaxEntries int
+	// Policy selects eviction behavior when a shard's byte budget is
+	// exhausted (default EvictLRU).
+	Policy EvictionPolicy
+}
+
+// Sharded is the production Store: N shards, each a mutex-guarded map
+// plus an LRU list, with byte accounting per shard. Routing is FNV-1a
+// over the key, so contention on one hot document never blocks lookups
+// of documents on other shards.
+type Sharded[V any] struct {
+	cfg      Config
+	shardMax int64 // per-shard byte budget (0 = unlimited)
+	entries  atomic.Int64
+	shards   []shard[V]
+}
+
+type shard[V any] struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+	bytes int64
+
+	hits, misses, evictions uint64
+}
+
+type shardEntry[V any] struct {
+	key  string
+	val  V
+	size int64
+}
+
+// NewSharded creates a sharded store from cfg (zero fields take
+// defaults).
+func NewSharded[V any](cfg Config) *Sharded[V] {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	s := &Sharded[V]{cfg: cfg, shards: make([]shard[V], cfg.Shards)}
+	if cfg.MaxBytes > 0 {
+		s.shardMax = cfg.MaxBytes / int64(cfg.Shards)
+		if s.shardMax < 1 {
+			s.shardMax = 1
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*list.Element)
+		s.shards[i].lru = list.New()
+	}
+	return s
+}
+
+// ShardFor returns the shard index key routes to; tests use it to
+// assert the distribution, and a future multi-process deployment can
+// reuse it as the partitioning function.
+func (s *Sharded[V]) ShardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Get returns the value stored under key, refreshing its recency.
+func (s *Sharded[V]) Get(key string) (V, bool) {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.misses++
+		var zero V
+		return zero, false
+	}
+	sh.hits++
+	sh.lru.MoveToFront(el)
+	return el.Value.(*shardEntry[V]).val, true
+}
+
+// Put stores v under key. Under EvictLRU it evicts least-recently-used
+// entries from the target shard until the new entry fits its byte
+// budget; under EvictReject it returns ErrFull instead.
+func (s *Sharded[V]) Put(key string, v V, size int64) error {
+	if size < 0 {
+		size = 0
+	}
+	if s.shardMax > 0 && size > s.shardMax {
+		return ErrTooLarge
+	}
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	el, replacing := sh.items[key]
+	if !replacing && s.cfg.MaxEntries > 0 {
+		// Reserve a slot in the global entry count; CAS so concurrent
+		// Puts on different shards cannot both squeeze past the cap.
+		for {
+			n := s.entries.Load()
+			if n >= int64(s.cfg.MaxEntries) {
+				return ErrFull
+			}
+			if s.entries.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	}
+	prev := int64(0)
+	if replacing {
+		prev = el.Value.(*shardEntry[V]).size
+	}
+	if s.shardMax > 0 && sh.bytes-prev+size > s.shardMax {
+		if s.cfg.Policy == EvictReject {
+			if !replacing && s.cfg.MaxEntries > 0 {
+				s.entries.Add(-1) // release the reserved slot
+			}
+			return ErrFull
+		}
+		s.evictLocked(sh, el, s.shardMax-size+prev)
+	}
+	if replacing {
+		e := el.Value.(*shardEntry[V])
+		sh.bytes += size - e.size
+		e.val, e.size = v, size
+		sh.lru.MoveToFront(el)
+		return nil
+	}
+	sh.items[key] = sh.lru.PushFront(&shardEntry[V]{key: key, val: v, size: size})
+	sh.bytes += size
+	if s.cfg.MaxEntries <= 0 {
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries (skipping keep, the
+// entry being replaced) until the shard's bytes drop to target.
+func (s *Sharded[V]) evictLocked(sh *shard[V], keep *list.Element, target int64) {
+	for sh.bytes > target {
+		oldest := sh.lru.Back()
+		if oldest != nil && oldest == keep {
+			oldest = oldest.Prev()
+		}
+		if oldest == nil {
+			return
+		}
+		e := oldest.Value.(*shardEntry[V])
+		sh.lru.Remove(oldest)
+		delete(sh.items, e.key)
+		sh.bytes -= e.size
+		sh.evictions++
+		s.entries.Add(-1)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Sharded[V]) Delete(key string) bool {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*shardEntry[V])
+	sh.lru.Remove(el)
+	delete(sh.items, key)
+	sh.bytes -= e.size
+	s.entries.Add(-1)
+	return true
+}
+
+// Range visits entries shard by shard. Each shard is snapshotted under
+// its lock, then f runs lock-free, so f may call back into the store.
+func (s *Sharded[V]) Range(f func(key string, v V, size int64) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		snap := make([]*shardEntry[V], 0, len(sh.items))
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			snap = append(snap, el.Value.(*shardEntry[V]))
+		}
+		sh.mu.Unlock()
+		for _, e := range snap {
+			if !f(e.key, e.val, e.size) {
+				return
+			}
+		}
+	}
+}
+
+// Stats aggregates current fill and lifetime counters across shards.
+func (s *Sharded[V]) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(s.shards))}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		ss := ShardStats{
+			Entries: len(sh.items), Bytes: sh.bytes,
+			Hits: sh.hits, Misses: sh.misses, Evictions: sh.evictions,
+		}
+		sh.mu.Unlock()
+		st.Shards[i] = ss
+		st.Entries += ss.Entries
+		st.Bytes += ss.Bytes
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
+	}
+	return st
+}
+
+// Len returns the current number of entries.
+func (s *Sharded[V]) Len() int { return int(s.entries.Load()) }

@@ -1,0 +1,93 @@
+// Package store is the storage layer of the serving stack: a keyed
+// document store with explicit memory accounting, decoupled from both
+// the HTTP server above it and the evaluation engine below it.
+//
+// The Store interface is deliberately small — Get/Put/Delete/Range/
+// Stats — so the serving layer routes every document lookup through it
+// without caring how entries are laid out. The one production
+// implementation, Sharded, spreads entries over N independently locked
+// shards with FNV-1a routing; see sharded.go. Values are opaque to the
+// store: the caller supplies a size in bytes with every Put and the
+// store enforces its configured budgets against that accounting.
+package store
+
+import "errors"
+
+// ErrFull is returned by Put when admitting the entry would exceed a
+// configured budget (entry count, or bytes under the Reject policy).
+// Replacing an existing key is never rejected by the entry-count cap.
+var ErrFull = errors.New("store: full")
+
+// ErrTooLarge is returned by Put when a single entry is bigger than a
+// whole shard's byte budget, so no amount of eviction could admit it.
+var ErrTooLarge = errors.New("store: entry exceeds shard byte budget")
+
+// Store is a keyed value store with byte-size accounting. All methods
+// are safe for concurrent use.
+type Store[V any] interface {
+	// Get returns the value stored under key.
+	Get(key string) (V, bool)
+	// Put stores v under key with the given size in bytes, replacing
+	// any previous entry. It returns ErrFull or ErrTooLarge when the
+	// store's budgets refuse the entry.
+	Put(key string, v V, size int64) error
+	// Delete removes key, reporting whether it was present.
+	Delete(key string) bool
+	// Range calls f for every entry until f returns false. It takes a
+	// point-in-time snapshot per shard; entries added or removed while
+	// ranging may or may not be visited.
+	Range(f func(key string, v V, size int64) bool)
+	// Stats returns aggregate and per-shard statistics.
+	Stats() Stats
+}
+
+// EvictionPolicy selects what Put does when a shard's byte budget is
+// exhausted.
+type EvictionPolicy int
+
+const (
+	// EvictLRU evicts least-recently-used entries from the shard until
+	// the new entry fits. Get refreshes recency.
+	EvictLRU EvictionPolicy = iota
+	// EvictReject refuses the Put with ErrFull instead of evicting.
+	EvictReject
+)
+
+// String names the policy as accepted by the -evict flag.
+func (p EvictionPolicy) String() string {
+	if p == EvictReject {
+		return "reject"
+	}
+	return "lru"
+}
+
+// PolicyByName resolves a flag name to an EvictionPolicy.
+func PolicyByName(name string) (EvictionPolicy, bool) {
+	switch name {
+	case "lru":
+		return EvictLRU, true
+	case "reject":
+		return EvictReject, true
+	}
+	return 0, false
+}
+
+// ShardStats describes one shard's current fill and lifetime counters.
+type ShardStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats aggregates the store: totals plus the per-shard breakdown (the
+// routing quality is visible as the spread of Entries across Shards).
+type Stats struct {
+	Entries   int          `json:"entries"`
+	Bytes     int64        `json:"bytes"`
+	Hits      uint64       `json:"hits"`
+	Misses    uint64       `json:"misses"`
+	Evictions uint64       `json:"evictions"`
+	Shards    []ShardStats `json:"shards"`
+}

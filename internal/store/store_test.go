@@ -1,0 +1,198 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewSharded[string](Config{Shards: 4})
+	if err := s.Put("a", "alpha", 5); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("a")
+	if !ok || v != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if err := s.Put("a", "beta", 4); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("a"); v != "beta" {
+		t.Fatalf("after replace Get(a) = %q", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replace must not duplicate)", s.Len())
+	}
+	if st := s.Stats(); st.Bytes != 4 {
+		t.Fatalf("Bytes = %d, want 4 after replacement", st.Bytes)
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete should report presence exactly once")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("empty store stats = %+v", st)
+	}
+}
+
+// TestShardDistribution is the acceptance check for the routing layer:
+// a realistic population of document names must land on every shard,
+// and routing must be stable per key.
+func TestShardDistribution(t *testing.T) {
+	const shards = 8
+	s := NewSharded[int](Config{Shards: shards})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if s.ShardFor(key) != s.ShardFor(key) {
+			t.Fatalf("routing for %q is not stable", key)
+		}
+		if err := s.Put(key, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if len(st.Shards) != shards {
+		t.Fatalf("got %d shard stats, want %d", len(st.Shards), shards)
+	}
+	total := 0
+	for i, ss := range st.Shards {
+		if ss.Entries == 0 {
+			t.Fatalf("shard %d is empty: distribution %+v", i, st.Shards)
+		}
+		total += ss.Entries
+	}
+	if total != 200 || st.Entries != 200 {
+		t.Fatalf("entries = %d (aggregate %d), want 200", total, st.Entries)
+	}
+}
+
+func TestMaxEntriesRejectsNewKeepsReplacements(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 2, MaxEntries: 2})
+	if err := s.Put("one", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("two", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("three", 3, 1); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-cap Put err = %v, want ErrFull", err)
+	}
+	if err := s.Put("two", 22, 1); err != nil {
+		t.Fatalf("replacement at cap err = %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Delete("one"); s.Put("three", 3, 1) != nil {
+		t.Fatal("slot freed by Delete was not reusable")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard so all keys compete for the same 100-byte budget.
+	s := NewSharded[int](Config{Shards: 1, MaxBytes: 100, Policy: EvictLRU})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), i, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 is the LRU, then overflow the budget.
+	s.Get("k0")
+	if err := s.Put("big", 99, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as least recently used")
+	}
+	if _, ok := s.Get("k0"); !ok {
+		t.Fatal("recently used k0 was evicted")
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions > 0", st)
+	}
+	if st.Bytes > 100 {
+		t.Fatalf("bytes = %d exceeds budget after eviction", st.Bytes)
+	}
+}
+
+func TestRejectPolicyAndTooLarge(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 1, MaxBytes: 100, Policy: EvictReject})
+	if err := s.Put("a", 1, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", 2, 30); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-budget Put err = %v, want ErrFull", err)
+	}
+	if err := s.Put("huge", 3, 200); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized Put err = %v, want ErrTooLarge", err)
+	}
+	// Replacing the resident entry with a smaller one must succeed.
+	if err := s.Put("a", 11, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", 2, 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 4})
+	want := map[string]int{"a": 1, "b": 2, "c": 3}
+	for k, v := range want {
+		s.Put(k, v, int64(v))
+	}
+	got := map[string]int{}
+	var bytes int64
+	s.Range(func(k string, v int, size int64) bool {
+		got[k] = v
+		bytes += size
+		return true
+	})
+	if len(got) != len(want) || bytes != 6 {
+		t.Fatalf("Range visited %v (%d bytes)", got, bytes)
+	}
+	n := 0
+	s.Range(func(string, int, int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop: visited %d", n)
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines under
+// -race: puts, gets, deletes and stats on overlapping keys.
+func TestConcurrentAccess(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 4, MaxBytes: 4096, MaxEntries: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				switch i % 4 {
+				case 0:
+					s.Put(key, i, 16)
+				case 1:
+					s.Get(key)
+				case 2:
+					s.Delete(key)
+				default:
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries != s.Len() {
+		t.Fatalf("entry accounting drifted: stats %d vs counter %d", st.Entries, s.Len())
+	}
+	if st.Entries > 64 || st.Bytes > 4096 {
+		t.Fatalf("budgets exceeded: %+v", st)
+	}
+}

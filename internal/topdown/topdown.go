@@ -14,6 +14,7 @@
 package topdown
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/evalutil"
@@ -25,6 +26,11 @@ import (
 // Evaluator evaluates XPath queries over one document.
 type Evaluator struct {
 	doc *xmltree.Document
+
+	// cancel is the throttled cancellation checkpoint consulted on
+	// every vectorized evaluation step; nil (the Evaluate path) never
+	// fires.
+	cancel *evalutil.Canceller
 }
 
 // New returns a top-down evaluator for the document.
@@ -33,6 +39,15 @@ func New(d *xmltree.Document) *Evaluator { return &Evaluator{doc: d} }
 // Evaluate computes the value of e for a single context. Internally the
 // whole evaluation is vectorized; the top-level vector has length one.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: the vectorized
+// recursion and its per-context-node loops check ctx at throttled
+// checkpoints and abandon the evaluation with ctx's error once it is
+// done.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.cancel = evalutil.NewCanceller(ctx)
 	vs, err := ev.evalVector(e, []semantics.Context{c})
 	if err != nil {
 		return semantics.Value{}, err
@@ -43,6 +58,9 @@ func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Valu
 // evalVector is E↓: it maps a list of contexts to a list of values, one
 // per context (Definition 7.1).
 func (ev *Evaluator) evalVector(e xpath.Expr, ctxs []semantics.Context) ([]semantics.Value, error) {
+	if err := ev.cancel.Check(); err != nil {
+		return nil, err
+	}
 	out := make([]semantics.Value, len(ctxs))
 	switch x := e.(type) {
 	case *xpath.Number:
@@ -145,6 +163,9 @@ func (ev *Evaluator) evalCallVector(call *xpath.Call, ctxs []semantics.Context) 
 	out := make([]semantics.Value, len(ctxs))
 	args := make([]semantics.Value, len(call.Args))
 	for i, c := range ctxs {
+		if err := ev.cancel.Check(); err != nil {
+			return nil, err
+		}
 		for j := range argv {
 			args[j] = argv[j][i]
 		}
@@ -276,6 +297,9 @@ func (ev *Evaluator) evalStepVector(step *xpath.Step, inputs []xmltree.NodeSet) 
 			return out, nil
 		}
 		for i, xi := range inputs {
+			if err := ev.cancel.Check(); err != nil {
+				return nil, err
+			}
 			out[i] = evalutil.StepCandidatesSet(ev.doc, step.Axis, step.Test, xi)
 		}
 		return out, nil
@@ -284,12 +308,18 @@ func (ev *Evaluator) evalStepVector(step *xpath.Step, inputs []xmltree.NodeSet) 
 	// General case with predicates: group candidates per context node.
 	sx := make(map[xmltree.NodeID]xmltree.NodeSet, len(union))
 	for _, x := range union {
+		if err := ev.cancel.Check(); err != nil {
+			return nil, err
+		}
 		sx[x] = evalutil.StepCandidates(ev.doc, step.Axis, step.Test, x)
 	}
 	for _, pred := range step.Preds {
 		var predCtxs []semantics.Context
 		index := map[semantics.Context]int{}
 		for _, x := range union {
+			if err := ev.cancel.Check(); err != nil {
+				return nil, err
+			}
 			ordered := evalutil.AxisOrdered(step.Axis, sx[x])
 			for i, y := range ordered {
 				c := semantics.Context{Node: y, Pos: i + 1, Size: len(ordered)}
@@ -307,6 +337,9 @@ func (ev *Evaluator) evalStepVector(step *xpath.Step, inputs []xmltree.NodeSet) 
 			return nil, err
 		}
 		for _, x := range union {
+			if err := ev.cancel.Check(); err != nil {
+				return nil, err
+			}
 			ordered := evalutil.AxisOrdered(step.Axis, sx[x])
 			var keep []xmltree.NodeID
 			for i, y := range ordered {

@@ -29,6 +29,7 @@
 package wadler
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/axes"
@@ -55,8 +56,17 @@ func New(d *xmltree.Document) *Evaluator { return &Evaluator{doc: d} }
 // paths inside the query (innermost first), then delegate to MinContext
 // with those results installed.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: both the bottom-up
+// backward-propagation phase and the MinContext phase it delegates to
+// check ctx at throttled checkpoints and abandon the evaluation with
+// ctx's error once it is done.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
 	mc := mincontext.New(ev.doc)
-	st := &state{doc: ev.doc, pre: map[xpath.Expr][]bool{}, scalar: topdown.New(ev.doc)}
+	st := &state{doc: ev.doc, pre: map[xpath.Expr][]bool{}, scalar: topdown.New(ev.doc),
+		ctx: ctx, cancel: evalutil.NewCanceller(ctx)}
 	if err := st.collect(e); err != nil {
 		return semantics.Value{}, err
 	}
@@ -64,7 +74,7 @@ func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Valu
 		mc.SetPrecomputed(cand, st.pre[cand])
 	}
 	ev.LastBottomUpPaths = len(st.order)
-	return mc.Evaluate(e, c)
+	return mc.EvaluateContext(ctx, e, c)
 }
 
 // state carries the precomputed dom → bool tables and the collection
@@ -74,6 +84,19 @@ type state struct {
 	pre    map[xpath.Expr][]bool
 	order  []xpath.Expr
 	scalar *topdown.Evaluator // for context-independent operands c
+	ctx    context.Context    // cancellation for the scalar evaluations
+	cancel *evalutil.Canceller
+}
+
+// evalScalar evaluates a context-independent operand from the root with
+// the top-down engine, honoring the query's cancellation context (the
+// operand itself may contain whole-document paths).
+func (st *state) evalScalar(e xpath.Expr) (semantics.Value, error) {
+	ctx := st.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return st.scalar.EvaluateContext(ctx, e, semantics.Context{Node: st.doc.RootID(), Pos: 1, Size: 1})
 }
 
 // ------------------------------------------------------------------
@@ -344,8 +367,11 @@ func (st *state) maybeEvalRelOp(b *xpath.Binary) error {
 	}
 	// The constant side must itself be evaluable (any XPath; use the
 	// polynomial top-down engine once — it is context independent).
-	cv, err := st.scalar.Evaluate(constSide, semantics.Context{Node: st.doc.RootID(), Pos: 1, Size: 1})
+	cv, err := st.evalScalar(constSide)
 	if err != nil {
+		if st.ctx != nil && st.ctx.Err() != nil {
+			return st.ctx.Err() // cancelled, not merely out of fragment
+		}
 		return nil // leave it to MinContext
 	}
 	return st.evalBottomUpPath(b, pathSide, &cv, op)
@@ -570,7 +596,7 @@ func (st *state) propagateIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.Nod
 	// Innermost context-independent argument: the head's value is
 	// constant; the whole chain matches from every context node iff the
 	// constant's extension intersects cur.
-	v, err := st.scalar.Evaluate(c, semantics.Context{Node: st.doc.RootID(), Pos: 1, Size: 1})
+	v, err := st.evalScalar(c)
 	if err != nil {
 		return nil, err
 	}
@@ -602,6 +628,9 @@ func (st *state) propagateStepBackwards(step *xpath.Step, y xmltree.NodeSet) (xm
 		for _, p := range step.Preds {
 			var keep xmltree.NodeSet
 			for _, n := range yt {
+				if err := st.cancel.Check(); err != nil {
+					return nil, err
+				}
 				v, err := st.evalPred(p, semantics.Context{Node: n, Pos: -1, Size: -1})
 				if err != nil {
 					return nil, err
@@ -624,6 +653,9 @@ func (st *state) propagateStepBackwards(step *xpath.Step, y xmltree.NodeSet) (xm
 	xs := axes.EvalInverse(st.doc, step.Axis, yt)
 	var out xmltree.NodeSet
 	for _, x := range xs {
+		if err := st.cancel.Check(); err != nil {
+			return nil, err
+		}
 		z := evalutil.StepCandidates(st.doc, step.Axis, step.Test, x)
 		for _, p := range step.Preds {
 			ordered := evalutil.AxisOrdered(step.Axis, z)
