@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // document, so benchmark runs can be persisted as artifacts and
-// compared across commits instead of scrolling away in CI logs.
+// compared across commits instead of scrolling away in CI logs — and
+// diffs two such artifacts so CI can gate on regressions.
 //
 // Usage:
 //
 //	go test -bench . -run '^$' . | benchjson -out BENCH_42.json
 //	go test -bench Serving -run '^$' . | benchjson -dir benchruns
+//	benchjson diff -threshold 10 BENCH_41.json BENCH_42.json
 //
 // With -out the result goes exactly there; with -dir (and no -out) the
 // file is named BENCH_<n>.json for the smallest n not already present
@@ -13,6 +15,12 @@
 // Standard input must be the plain (non -json) `go test` output; lines
 // that are not benchmark results are preserved under "context" when
 // they carry goos/goarch/pkg/cpu metadata and ignored otherwise.
+//
+// The diff subcommand compares ns/op per benchmark name between an old
+// and a new artifact, prints every comparison, and exits 1 when any
+// benchmark got slower by more than -threshold percent — the CI gate
+// over the artifacts CI already uploads. Benchmarks present in only
+// one file are reported but never gate (renames must not fail builds).
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,10 +53,18 @@ type benchFile struct {
 }
 
 func main() {
-	in := flag.String("in", "", "read `go test -bench` output from this file instead of stdin")
-	out := flag.String("out", "", "write JSON here (default: BENCH_<n>.json under -dir)")
-	dir := flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json files")
-	flag.Parse()
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout))
+	}
+	runConvert(os.Args[1:])
+}
+
+func runConvert(args []string) {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	in := fs.String("in", "", "read `go test -bench` output from this file instead of stdin")
+	out := fs.String("out", "", "write JSON here (default: BENCH_<n>.json under -dir)")
+	dir := fs.String("dir", ".", "directory for auto-numbered BENCH_<n>.json files")
+	fs.Parse(args)
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -85,6 +102,100 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 	os.Exit(1)
+}
+
+// runDiff implements `benchjson diff [-threshold pct] old.json new.json`,
+// returning the process exit code: 0 when no benchmark regressed
+// beyond the threshold, 1 when at least one did, 2 on usage or read
+// errors.
+func runDiff(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 5, "max tolerated ns/op regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson diff: want exactly two files: old.json new.json")
+		return 2
+	}
+	oldFile, err := loadBenchFile(rest[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson diff: %v\n", err)
+		return 2
+	}
+	newFile, err := loadBenchFile(rest[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson diff: %v\n", err)
+		return 2
+	}
+	report, regressions := diffBenchFiles(oldFile, newFile, *threshold)
+	fmt.Fprint(w, report)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson diff: %d benchmark(s) regressed beyond %.1f%%\n", regressions, *threshold)
+		return 1
+	}
+	return 0
+}
+
+func loadBenchFile(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// diffBenchFiles compares ns/op per benchmark name and renders one
+// line per comparison; a positive delta is a slowdown. It returns the
+// rendered report and how many benchmarks regressed beyond threshold
+// percent. Only names present in both files can gate; additions and
+// removals are listed informationally.
+func diffBenchFiles(oldFile, newFile *benchFile, threshold float64) (string, int) {
+	oldNs := map[string]float64{}
+	for _, b := range oldFile.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	var sb strings.Builder
+	regressions := 0
+	seen := map[string]bool{}
+	for _, b := range newFile.Benchmarks {
+		old, ok := oldNs[b.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-60s %12s %12.0f  (new)\n", b.Name, "-", b.NsPerOp)
+			continue
+		}
+		seen[b.Name] = true
+		if old <= 0 {
+			fmt.Fprintf(&sb, "%-60s %12.0f %12.0f  (old is zero, skipped)\n", b.Name, old, b.NsPerOp)
+			continue
+		}
+		delta := (b.NsPerOp - old) / old * 100
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(&sb, "%-60s %12.0f %12.0f  %+7.1f%%  %s\n", b.Name, old, b.NsPerOp, delta, verdict)
+	}
+	var gone []string
+	for name := range oldNs {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(&sb, "%-60s %12.0f %12s  (removed)\n", name, oldNs[name], "-")
+	}
+	return sb.String(), regressions
 }
 
 // parse consumes `go test -bench` output: metadata lines (goos:,

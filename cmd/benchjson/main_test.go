@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,5 +72,76 @@ func TestNextBenchPath(t *testing.T) {
 	}
 	if filepath.Base(p) != "BENCH_3.json" {
 		t.Fatalf("next path = %s, want BENCH_3.json (first gap)", p)
+	}
+}
+
+func writeBenchFile(t *testing.T, path string, f *benchFile) {
+	t.Helper()
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffBenchFiles(t *testing.T) {
+	oldF := &benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkStable-8", NsPerOp: 1000},
+		{Name: "BenchmarkSlower-8", NsPerOp: 1000},
+		{Name: "BenchmarkFaster-8", NsPerOp: 1000},
+		{Name: "BenchmarkRemoved-8", NsPerOp: 500},
+	}}
+	newF := &benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkStable-8", NsPerOp: 1030}, // +3%: within threshold
+		{Name: "BenchmarkSlower-8", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkFaster-8", NsPerOp: 600},  // -40%: improvement
+		{Name: "BenchmarkAdded-8", NsPerOp: 42},    // new: informational
+	}}
+	report, regressions := diffBenchFiles(oldF, newF, 5)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, report)
+	}
+	for _, want := range []string{
+		"BenchmarkSlower-8", "REGRESSED", "+30.0%",
+		"BenchmarkStable-8", "BenchmarkFaster-8", "-40.0%",
+		"(new)", "(removed)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	// A looser threshold admits the slowdown.
+	if _, n := diffBenchFiles(oldF, newF, 50); n != 0 {
+		t.Fatalf("threshold 50%% still flagged %d regressions", n)
+	}
+}
+
+// TestRunDiffExitCodes drives the subcommand end to end through files
+// on disk: 0 when clean, 1 on regression, 2 on bad usage.
+func TestRunDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, &benchFile{Benchmarks: []benchResult{{Name: "B-8", NsPerOp: 100, Iterations: 1}}})
+	writeBenchFile(t, newPath, &benchFile{Benchmarks: []benchResult{{Name: "B-8", NsPerOp: 200, Iterations: 1}}})
+
+	var out strings.Builder
+	if code := runDiff([]string{"-threshold", "10", oldPath, newPath}, &out); code != 1 {
+		t.Fatalf("regressing diff exit = %d, want 1\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := runDiff([]string{"-threshold", "150", oldPath, newPath}, &out); code != 0 {
+		t.Fatalf("tolerant diff exit = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "B-8") {
+		t.Fatalf("report missing benchmark line:\n%s", out.String())
+	}
+	if code := runDiff([]string{oldPath}, &out); code != 2 {
+		t.Fatalf("one-file usage exit = %d, want 2", code)
+	}
+	if code := runDiff([]string{oldPath, filepath.Join(dir, "missing.json")}, &out); code != 2 {
+		t.Fatalf("missing file exit = %d, want 2", code)
 	}
 }

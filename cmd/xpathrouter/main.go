@@ -1,0 +1,120 @@
+// Command xpathrouter is the cluster front of the serving stack: it
+// partitions documents across N xpathserve backends with the same
+// FNV-1a routing the in-process store uses for shards, so a corpus can
+// exceed one machine's memory while clients keep talking to a single
+// address with the single-node API.
+//
+// Usage:
+//
+//	xpathrouter -addr :8079 -peers http://n1:8080,http://n2:8080,http://n3:8080 \
+//	    -replica-retry 1 -timeout 10s
+//
+// Endpoints (the xpathserve surface, plus fleet views):
+//
+//	POST   /documents  {"name": "d", "xml": "..."}   register on the owning node
+//	GET    /documents                                merged listing, tagged per node
+//	GET    /documents?name=d                         fetch from the owning node
+//	DELETE /documents?name=d                         evict from the owning node
+//	GET    /query?doc=d&q=//b                        forwarded to the owning node
+//	POST   /query      {"doc": "d", "query": "..."}  same, JSON body
+//	POST   /batch      {"doc": "d", ...}             single-doc batch, relayed
+//	POST   /batch      {"docs": ["d","e"], ...}      scatter-gather across owners
+//	GET    /stats                                    per-node stats + fleet totals
+//	GET    /health                                   per-peer health view
+//
+// /batch streams NDJSON in completion order across all backend
+// streams; every line carries the global job index ("index",
+// doc-major), the document ("doc") and the node that produced it
+// ("node"). Disconnecting cancels every in-flight backend call, and
+// the backends stop their evaluations at the next cancellation
+// checkpoint. -replica-retry N retries a request on up to N further
+// peers (ring order) when the owner is unreachable. A single -peers
+// entry is the degenerate 1-node deployment: same binary, same API,
+// no special casing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8079", "listen address")
+	peers := flag.String("peers", "", "comma-separated backend base URLs (required), e.g. http://n1:8080,http://n2:8080")
+	retries := flag.Int("replica-retry", 0, "how many further peers to try when a document's owner is unreachable")
+	timeout := flag.Duration("timeout", cluster.DefaultTimeout, "per-backend-call timeout (batch streams are exempt beyond dial/header latency)")
+	healthEvery := flag.Duration("health-interval", 5*time.Second, "background health probe period")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (match the backends' -max-body)")
+	flag.Parse()
+
+	nodes, err := parsePeers(*peers, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathrouter: %v\n", err)
+		os.Exit(2)
+	}
+	router, err := cluster.New(nodes, cluster.Options{
+		Retries:        *retries,
+		Timeout:        *timeout,
+		HealthInterval: *healthEvery,
+		MaxBody:        *maxBody,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathrouter: %v\n", err)
+		os.Exit(2)
+	}
+	router.Start()
+	defer router.Stop()
+
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name()
+	}
+	log.Printf("xpathrouter listening on %s (peers=%v replica-retry=%d timeout=%v)",
+		*addr, names, *retries, *timeout)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parsePeers turns the -peers flag into Nodes, rejecting empties and
+// duplicates (a duplicate peer would silently skew the partitioning).
+func parsePeers(spec string, timeout time.Duration) ([]*cluster.Node, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-peers is required (comma-separated backend URLs)")
+	}
+	seen := map[string]bool{}
+	var nodes []*cluster.Node
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		n, err := cluster.NewNode(raw, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if seen[n.URL()] {
+			return nil, fmt.Errorf("duplicate peer %s", n.URL())
+		}
+		seen[n.URL()] = true
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers contained no usable URLs: %q", spec)
+	}
+	return nodes, nil
+}

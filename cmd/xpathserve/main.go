@@ -1,6 +1,6 @@
 // Command xpathserve is an HTTP/JSON server for XPath 1.0 queries: the
 // sharded document store of internal/store and the concurrent serving
-// layer of internal/engine behind four endpoints.
+// layer of internal/engine behind the wire format of internal/serve.
 //
 // Usage:
 //
@@ -9,20 +9,25 @@
 // Endpoints:
 //
 //	POST   /documents  {"name": "d", "xml": "<a><b/></a>"}   register a document
-//	GET    /documents                                         list documents
+//	GET    /documents                                         list documents (+ idle ages)
+//	GET    /documents?name=d                                  fetch one document (incl. xml)
 //	DELETE /documents?name=d                                  evict a document
 //	GET    /query?doc=d&q=//b                                 evaluate one query
 //	POST   /query      {"doc": "d", "query": "count(//b)"}    same, JSON body
 //	POST   /batch      {"doc": "d", "queries": ["//b", ...]}  streaming batch (JSON lines)
 //	GET    /stats                                             cache + store + in-flight stats
+//	GET    /healthz                                           liveness probe
 //
 // Documents are spread over -shards independently locked store shards
 // (FNV routing) with per-shard byte accounting against -maxbytes and
-// the -evict policy. Compiled queries are cached (LRU, -cache entries);
-// batches fan out over -workers goroutines and stream each result the
-// moment it finishes. Evaluation is tied to the request context:
-// disconnected clients stop burning CPU at the next cancellation
-// checkpoint.
+// the -evict policy; -maxidle additionally evicts documents that have
+// not been queried for that long. Compiled queries are cached (LRU,
+// -cache entries); batches fan out over -workers goroutines and stream
+// each result the moment it finishes. Evaluation is tied to the
+// request context: disconnected clients stop burning CPU at the next
+// cancellation checkpoint. A fleet of these nodes scales out behind
+// cmd/xpathrouter, which partitions documents across them with the
+// same FNV routing the store uses for shards.
 package main
 
 import (
@@ -31,10 +36,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/serve"
 	"repro/internal/store"
 )
 
@@ -53,11 +60,12 @@ func main() {
 	naiveBudget := flag.Int64("naive-budget", 0, "step budget for naive/datapool strategies (0 = unlimited)")
 	maxRows := flag.Int("maxrows", 0, "context-value table row limit for the bottomup strategy (0 = unlimited)")
 	fallback := flag.Bool("fallback", true, "retry queries that trip the bottomup table limit on mincontext instead of erroring")
-	maxBody := flag.Int64("max-body", defaultMaxBodyBytes, "request body size limit in bytes")
-	maxDocs := flag.Int("max-docs", defaultMaxDocuments, "maximum number of retained documents")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes")
+	maxDocs := flag.Int("max-docs", serve.DefaultMaxDocuments, "maximum number of retained documents")
 	shards := flag.Int("shards", store.DefaultShards, "document store shard count")
 	maxBytes := flag.Int64("maxbytes", 0, "document store byte budget, divided evenly among shards and enforced per shard (0 = unlimited)")
 	evict := flag.String("evict", "lru", "store policy when the byte budget is exhausted: lru|reject")
+	maxIdle := flag.Duration("maxidle", 0, "evict documents not queried for this long (0 = never)")
 	flag.Var(&docs, "doc", "document to serve, as name=path (repeatable)")
 	flag.Parse()
 
@@ -79,13 +87,13 @@ func main() {
 		MaxTableRows: *maxRows,
 		Fallback:     *fallback,
 	})
-	srv := newServer(eng, store.Config{
+	srv := serve.New(eng, store.Config{
 		Shards:     *shards,
 		MaxBytes:   *maxBytes,
 		MaxEntries: *maxDocs,
 		Policy:     policy,
 	})
-	srv.maxBody = *maxBody
+	srv.SetMaxBody(*maxBody)
 	for _, spec := range docs {
 		name, path, err := parseDocFlag(spec)
 		if err != nil {
@@ -97,7 +105,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
 			os.Exit(1)
 		}
-		n, err := srv.addDocument(name, string(xml))
+		n, err := srv.AddDocument(name, string(xml))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
 			os.Exit(1)
@@ -105,19 +113,44 @@ func main() {
 		log.Printf("loaded %s from %s (%d nodes)", name, path, n)
 	}
 
+	if *maxIdle > 0 {
+		// The janitor wakes a few times per idle window so a document is
+		// evicted within ~1.25× -maxidle of its last query.
+		interval := *maxIdle / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			for range time.Tick(interval) {
+				if evicted := srv.EvictIdle(*maxIdle); len(evicted) > 0 {
+					log.Printf("evicted %d idle document(s): %s", len(evicted), strings.Join(evicted, ", "))
+				}
+			}
+		}()
+	}
+
 	log.Printf("xpathserve listening on %s (strategy=%s cache=%d shards=%d docs=%v)",
-		*addr, strat, *cacheSize, *shards, srv.docNames())
+		*addr, strat, *cacheSize, *shards, srv.DocNames())
 	// Header/idle timeouts bound connection abuse; per-request bodies
 	// are capped by the handler's MaxBytesReader. No WriteTimeout:
 	// large batches on big documents legitimately take a while, and
 	// /batch streams for as long as the client stays.
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	if err := hs.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseDocFlag splits a -doc value of the form name=path.
+func parseDocFlag(v string) (name, path string, err error) {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("-doc wants name=path, got %q", v)
+	}
+	return name, path, nil
 }

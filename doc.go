@@ -13,24 +13,44 @@
 //     of the paper (naive, datapool, bottomup, topdown, mincontext,
 //     optmincontext/wadler, corexpath, xpatterns).
 //   - internal/core — the public engine API: compile a query once,
-//     evaluate it with a selectable strategy (EvaluateContext for
-//     cancellable evaluation); Auto picks the best algorithm per query
-//     via fragment classification.
+//     evaluate it with a selectable strategy; Auto picks the best
+//     algorithm per query via fragment classification. EvaluateContext
+//     carries a uniform cancellation contract: every engine, from the
+//     linear fragment evaluators to the exponential baseline, stops at
+//     a throttled checkpoint once the context is done.
 //   - internal/engine — the concurrent serving layer: a thread-safe
 //     LRU cache of compiled queries (compile once per distinct query
-//     under sustained traffic), Sessions binding documents, a bounded
-//     worker pool with streaming batch evaluation, and automatic
-//     fallback to MinContext when a bottom-up table limit trips.
+//     under sustained traffic), Sessions binding documents (each
+//     tracking when it was last queried, the idle-eviction signal), a
+//     bounded worker pool with streaming batch evaluation, and
+//     automatic fallback to MinContext when a bottom-up table limit
+//     trips.
 //   - internal/store — the storage layer: a sharded, byte-accounted
-//     document store (FNV routing, per-shard locks, LRU or reject
-//     eviction) holding one Session per registered document.
-//   - cmd/xpathserve — an HTTP/JSON server over store + engine with
-//     /query, streaming /batch, /documents and /stats endpoints; the
-//     other cmd/ tools (xpathquery, xpathbench, xpathgrep,
-//     xpathexplain, xmlgen, benchjson) are one-shot CLIs.
+//     document store (FNV-1a routing via store.KeyShard, per-shard
+//     locks, LRU or reject eviction) holding one Session per
+//     registered document.
+//   - internal/serve — the wire format: the HTTP/JSON server binding
+//     store + engine behind /query, streaming /batch, /documents,
+//     /stats and /healthz; cmd/xpathserve is its flag-parsing shell.
+//   - internal/cluster — the multi-process layer: a Remote
+//     implementation of store.Store over a peer's document API, and a
+//     Router that partitions documents across N backend nodes with the
+//     same KeyShard routing, forwards /query to the owning node (with
+//     replica retry), and fans /batch out scatter-gather style into
+//     one completion-order NDJSON stream tagged with index/doc/node;
+//     cmd/xpathrouter is its binary.
+//   - cmd/ — xpathserve and xpathrouter as above; the other tools
+//     (xpathquery, xpathbench, xpathgrep, xpathexplain, xmlgen,
+//     benchjson with its regression-gating diff subcommand) are
+//     one-shot CLIs.
+//
+// The serving stack is layered store → engine → serve → cluster, so
+// each level scales independently: shards within a process, processes
+// within a fleet.
 //
 // See internal/core for the engine API, internal/engine for the
-// serving layer, README.md for the strategy table and server examples,
-// and bench_test.go for the benchmarks regenerating the paper's
-// figures plus the serving-layer cache and worker-pool measurements.
+// serving layer, README.md for the strategy table, server examples and
+// the cluster-mode quickstart, and bench_test.go for the benchmarks
+// regenerating the paper's figures plus the serving-layer cache and
+// worker-pool measurements.
 package repro

@@ -1,0 +1,402 @@
+// Package cluster takes the serving stack multi-process: a Remote
+// implementation of store.Store over a peer node's HTTP document API,
+// and a Router that partitions documents across N xpathserve backends
+// with the same FNV-1a routing the in-process store uses for shards
+// (store.KeyShard), forwarding /query to the owning node and fanning
+// /batch out scatter-gather style.
+//
+// The layering is store (placement + memory accounting) → engine
+// (compile cache + evaluation) → serve (wire format) → cluster (this
+// package: multi-process routing). A single-node deployment is the
+// degenerate 1-peer case of the router.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// ErrUnavailable is returned when a peer cannot be reached at all:
+// connection refused, DNS failure, timeout before a response. It is
+// the signal that triggers replica retry in the router.
+var ErrUnavailable = errors.New("cluster: peer unavailable")
+
+// ErrNotFound is returned when a peer answered 404 for a document.
+var ErrNotFound = errors.New("cluster: document not found on peer")
+
+// ErrPeer is returned when a peer answered an error status this
+// package has no more specific mapping for; the wrapped message
+// carries the peer's own error text.
+var ErrPeer = errors.New("cluster: peer error")
+
+// DefaultTimeout bounds unary calls to a peer when no timeout is
+// configured.
+const DefaultTimeout = 10 * time.Second
+
+// responseLimit bounds how much of a peer response is read. JSON
+// escaping inflates markup-dense XML up to ~6× over the serve layer's
+// 32MB request cap, so this sits far above any legitimate response;
+// crossing it is reported as an error, never silently truncated (a
+// truncated document must not read as a smaller document).
+const responseLimit = 256 << 20
+
+var errOversizeResponse = errors.New("cluster: peer response exceeds read limit")
+
+// readAllLimit reads r fully, failing with errOversizeResponse instead
+// of truncating when the body exceeds limit bytes.
+func readAllLimit(r io.Reader, limit int64) ([]byte, error) {
+	buf, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) > limit {
+		return nil, fmt.Errorf("%w (%d bytes)", errOversizeResponse, limit)
+	}
+	return buf, nil
+}
+
+// Node is one backend xpathserve process: a base URL plus a dedicated
+// HTTP client whose transport keeps connections to that peer alive
+// across requests. All methods are safe for concurrent use.
+type Node struct {
+	name string // host:port, used as the "node" tag on routed results
+	base string // normalized base URL without trailing slash
+
+	// unary does request/response calls under the configured timeout;
+	// stream does /batch, where the response legitimately stays open
+	// for as long as the slowest query, so only dial and response-
+	// header latency are bounded. Both share one transport, so the
+	// node's connection pool is reused across call styles.
+	unary  *http.Client
+	stream *http.Client
+
+	healthy   atomic.Bool
+	lastErr   atomic.Value // string
+	lastCheck atomic.Int64 // unix nanos of the last health probe
+}
+
+// NewNode creates a Node for a peer base URL like "http://host:8080".
+// A zero timeout takes DefaultTimeout.
+func NewNode(raw string, timeout time.Duration) (*Node, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	u, err := url.Parse(strings.TrimRight(raw, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %q: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("cluster: peer %q: want http(s)://host[:port]", raw)
+	}
+	tr := &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: timeout}).DialContext,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: timeout,
+	}
+	n := &Node{
+		name:   u.Host,
+		base:   u.String(),
+		unary:  &http.Client{Transport: tr, Timeout: timeout},
+		stream: &http.Client{Transport: tr},
+	}
+	n.healthy.Store(true) // optimistic until a probe or call says otherwise
+	return n, nil
+}
+
+// Name returns the node's display name (host:port) — the "node" tag
+// routed results carry.
+func (n *Node) Name() string { return n.name }
+
+// URL returns the node's base URL.
+func (n *Node) URL() string { return n.base }
+
+// Healthy reports the node's last observed health.
+func (n *Node) Healthy() bool { return n.healthy.Load() }
+
+// LastErr returns the most recent transport or health failure ("" when
+// none).
+func (n *Node) LastErr() string {
+	s, _ := n.lastErr.Load().(string)
+	return s
+}
+
+// noteErr records a transport failure and marks the node unhealthy
+// when the failure means the peer is unreachable (not when the peer
+// answered with an application error).
+func (n *Node) noteErr(err error) {
+	if errors.Is(err, ErrUnavailable) {
+		n.healthy.Store(false)
+		n.lastErr.Store(err.Error())
+	}
+}
+
+// statusErr maps a peer's error status to this package's typed errors,
+// reusing the store's own sentinel errors where the peer's condition
+// is a store condition — a remote full store is store.ErrFull to the
+// caller, exactly like a local one.
+func (n *Node) statusErr(status int, msg string) error {
+	switch status {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s): %s", ErrNotFound, n.name, msg)
+	case http.StatusInsufficientStorage:
+		return fmt.Errorf("%w (remote %s): %s", store.ErrFull, n.name, msg)
+	case http.StatusRequestEntityTooLarge:
+		return fmt.Errorf("%w (remote %s): %s", store.ErrTooLarge, n.name, msg)
+	default:
+		return &PeerError{Node: n.name, Status: status, Msg: msg}
+	}
+}
+
+// do performs one unary call and decodes the JSON response into out
+// (skipped when out is nil). Peer error statuses come back as typed
+// errors; transport failures as ErrUnavailable.
+func (n *Node) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, n.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.unary.Do(req)
+	if err != nil {
+		// Only the caller's own context keeps its identity here: on
+		// Go 1.23+ a tripped Client.Timeout also matches
+		// context.DeadlineExceeded, and that is the peer's fault — it
+		// must read as ErrUnavailable so replica retry and health
+		// marking fire.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.name, ctxErr)
+		}
+		err = fmt.Errorf("%w: %s: %v", ErrUnavailable, n.name, err)
+		n.noteErr(err)
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := readAllLimit(resp.Body, responseLimit)
+	if err != nil {
+		if errors.Is(err, errOversizeResponse) {
+			return fmt.Errorf("%w (%s): %v", ErrPeer, n.name, err)
+		}
+		err = fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, n.name, err)
+		n.noteErr(err)
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(raw, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(raw))
+		}
+		return n.statusErr(resp.StatusCode, e.Error)
+	}
+	n.healthy.Store(true)
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Healthz probes the peer's liveness endpoint, updating the node's
+// health state either way.
+func (n *Node) Healthz(ctx context.Context) error {
+	err := n.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	n.lastCheck.Store(time.Now().UnixNano())
+	if err == nil {
+		n.lastErr.Store("")
+	}
+	return err
+}
+
+// LastCheck returns the time of the most recent health probe (zero
+// before the first).
+func (n *Node) LastCheck() time.Time {
+	ns := n.lastCheck.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// PutDocument registers (or replaces) a document on the peer,
+// returning its node count.
+func (n *Node) PutDocument(ctx context.Context, name, xml string) (int, error) {
+	var out struct {
+		Nodes int `json:"nodes"`
+	}
+	err := n.do(ctx, http.MethodPost, "/documents", serve.DocumentRequest{Name: name, XML: xml}, &out)
+	return out.Nodes, err
+}
+
+// GetDocument fetches one document, serialized XML included.
+func (n *Node) GetDocument(ctx context.Context, name string) (serve.DocInfo, error) {
+	var out serve.DocInfo
+	err := n.do(ctx, http.MethodGet, "/documents?name="+url.QueryEscape(name), nil, &out)
+	return out, err
+}
+
+// DeleteDocument evicts a document from the peer.
+func (n *Node) DeleteDocument(ctx context.Context, name string) error {
+	return n.do(ctx, http.MethodDelete, "/documents?name="+url.QueryEscape(name), nil, nil)
+}
+
+// Documents lists the peer's documents (without XML).
+func (n *Node) Documents(ctx context.Context) ([]serve.DocInfo, error) {
+	var out struct {
+		Documents []serve.DocInfo `json:"documents"`
+	}
+	err := n.do(ctx, http.MethodGet, "/documents", nil, &out)
+	return out.Documents, err
+}
+
+// NodeStats is a peer's /stats response: the raw JSON for relaying
+// plus the store section parsed for aggregation.
+type NodeStats struct {
+	Raw   json.RawMessage
+	Store store.Stats
+}
+
+// Stats fetches the peer's statistics.
+func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
+	var raw json.RawMessage
+	if err := n.do(ctx, http.MethodGet, "/stats", nil, &raw); err != nil {
+		return NodeStats{}, err
+	}
+	var parsed struct {
+		Store store.Stats `json:"store"`
+	}
+	json.Unmarshal(raw, &parsed)
+	return NodeStats{Raw: raw, Store: parsed.Store}, nil
+}
+
+// Query evaluates one query on the peer, returning the peer's HTTP
+// status and decoded response object (the router re-tags and relays
+// both). A non-nil error means the peer was not reached; application-
+// level failures (unknown document, bad query) come back as a status
+// plus the peer's response body, exactly as a direct client would see
+// them.
+func (n *Node) Query(ctx context.Context, doc, query string) (int, map[string]any, error) {
+	buf, err := json.Marshal(serve.QueryRequest{Doc: doc, Query: query})
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/query", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.unary.Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, nil, fmt.Errorf("cluster: node %s: %w", n.name, ctxErr)
+		}
+		err = fmt.Errorf("%w: %s: %v", ErrUnavailable, n.name, err)
+		n.noteErr(err)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, rerr := readAllLimit(resp.Body, responseLimit)
+	if rerr != nil {
+		if errors.Is(rerr, errOversizeResponse) {
+			return 0, nil, fmt.Errorf("%w (%s): %v", ErrPeer, n.name, rerr)
+		}
+		rerr = fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, n.name, rerr)
+		n.noteErr(rerr)
+		return 0, nil, rerr
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		err = fmt.Errorf("%w: %s: decoding response: %v", ErrUnavailable, n.name, err)
+		n.noteErr(err)
+		return 0, nil, err
+	}
+	if out == nil {
+		// A 200 carrying JSON null (not an xpathserve peer): hand the
+		// router a tag-able map rather than a nil it would panic on.
+		out = map[string]any{}
+	}
+	n.healthy.Store(true)
+	return resp.StatusCode, out, nil
+}
+
+// StreamBatch runs a batch on the peer and hands each NDJSON line to
+// emit as a decoded object, in the order the peer streams them
+// (completion order). The request is tied to ctx: cancelling it tears
+// the connection down and the peer stops its in-flight evaluations at
+// their next checkpoint. A non-200 response comes back as a typed
+// error before emit is ever called.
+func (n *Node) StreamBatch(ctx context.Context, doc string, queries []string, emit func(map[string]any) error) error {
+	buf, err := json.Marshal(serve.BatchRequest{Doc: doc, Queries: queries})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/batch", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.stream.Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.name, ctxErr)
+		}
+		err = fmt.Errorf("%w: %s: %v", ErrUnavailable, n.name, err)
+		n.noteErr(err)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(raw, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(raw))
+		}
+		return n.statusErr(resp.StatusCode, e.Error)
+	}
+	n.healthy.Store(true)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return fmt.Errorf("cluster: node %s: %w", n.name, ctx.Err())
+			}
+			err = fmt.Errorf("%w: %s: mid-stream: %v", ErrUnavailable, n.name, err)
+			n.noteErr(err)
+			return err
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Remote implements store.Store[string] over one peer node's HTTP
+// document API: keys are document names, values are serialized XML.
+// It is the multi-process counterpart of store.Sharded — the same
+// Get/Put/Delete/Range/Stats surface, backed by another process's
+// corpus instead of in-process shards, with per-node connection reuse
+// and a per-call timeout.
+//
+// The store.Store interface has no error channel on Get/Delete/Range,
+// so those swallow transport failures into their boolean results; the
+// most recent failure is retained and readable via Err, and callers
+// that need full error reporting use the context-taking methods
+// (GetDocument, PutDocument, ...) instead. Put does return errors and
+// maps the peer's responses onto the same sentinel errors the local
+// store uses: a full remote store is store.ErrFull, an oversized
+// document store.ErrTooLarge.
+type Remote struct {
+	node    *Node
+	timeout time.Duration
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// Compile-time check: Remote is a drop-in store.Store.
+var _ store.Store[string] = (*Remote)(nil)
+
+// NewRemote creates a Remote over a peer node. A zero timeout takes
+// DefaultTimeout.
+func NewRemote(node *Node, timeout time.Duration) *Remote {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Remote{node: node, timeout: timeout}
+}
+
+// Node returns the peer this store speaks to.
+func (r *Remote) Node() *Node { return r.node }
+
+// Err returns the most recent transport failure swallowed by an
+// interface method (nil when the last such call succeeded).
+func (r *Remote) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+func (r *Remote) note(err error) {
+	if errors.Is(err, ErrNotFound) {
+		err = nil // absence is a result, not a failure
+	}
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+}
+
+func (r *Remote) callCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), r.timeout)
+}
+
+// GetDocument fetches the serialized XML stored under key.
+func (r *Remote) GetDocument(ctx context.Context, key string) (string, error) {
+	info, err := r.node.GetDocument(ctx, key)
+	if err != nil {
+		return "", err
+	}
+	return info.XML, nil
+}
+
+// PutDocument registers xml under key on the peer.
+func (r *Remote) PutDocument(ctx context.Context, key, xml string) error {
+	_, err := r.node.PutDocument(ctx, key, xml)
+	return err
+}
+
+// Get returns the document stored under key. Transport failures read
+// as absence; check Err to distinguish a missing document from an
+// unreachable peer.
+func (r *Remote) Get(key string) (string, bool) {
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	xml, err := r.GetDocument(ctx, key)
+	r.note(err)
+	if err != nil {
+		return "", false
+	}
+	return xml, true
+}
+
+// Put stores v (serialized XML) under key. The size argument is
+// ignored: the peer accounts the document at its own serialized size,
+// exactly as a local AddDocument would.
+func (r *Remote) Put(key string, v string, _ int64) error {
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	err := r.PutDocument(ctx, key, v)
+	r.note(err)
+	return err
+}
+
+// Delete removes key, reporting whether the peer had it.
+func (r *Remote) Delete(key string) bool {
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	err := r.node.DeleteDocument(ctx, key)
+	r.note(err)
+	return err == nil
+}
+
+// Range lists the peer's documents, then fetches each one's XML
+// lazily until f returns false. The listing is a point-in-time
+// snapshot; documents added or removed while ranging may or may not
+// be visited, matching the local store's Range contract. Documents
+// that vanish between the listing and their fetch are skipped.
+func (r *Remote) Range(f func(key string, v string, size int64) bool) {
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	docs, err := r.node.Documents(ctx)
+	r.note(err)
+	if err != nil {
+		return
+	}
+	for _, d := range docs {
+		fctx, fcancel := r.callCtx()
+		info, err := r.node.GetDocument(fctx, d.Name)
+		fcancel()
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		r.note(err)
+		if err != nil {
+			return
+		}
+		if !f(info.Name, info.XML, info.Bytes) {
+			return
+		}
+	}
+}
+
+// Stats returns the peer store's statistics (zero on transport
+// failure; check Err).
+func (r *Remote) Stats() store.Stats {
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	st, err := r.node.Stats(ctx)
+	r.note(err)
+	return st.Store
+}

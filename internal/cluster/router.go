@@ -1,0 +1,595 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// PeerError is a peer's application-level error response (a status
+// this package has no sentinel for): the router relays its status so
+// a backend's 400 stays a 400 at the client. It matches ErrPeer under
+// errors.Is.
+type PeerError struct {
+	Node   string
+	Status int
+	Msg    string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: peer %s: status %d: %s", e.Node, e.Status, e.Msg)
+}
+
+// Is reports that every PeerError is an ErrPeer.
+func (e *PeerError) Is(target error) bool { return target == ErrPeer }
+
+// Options configures a Router.
+type Options struct {
+	// Retries is how many additional peers (in ring order after the
+	// owner) a request is retried on when the owner is unreachable —
+	// the -replica-retry flag. 0 means the owner is the only candidate.
+	Retries int
+	// Timeout bounds unary backend calls (default DefaultTimeout).
+	// Batch streams are exempt: only their dial and response-header
+	// latency are bounded.
+	Timeout time.Duration
+	// HealthInterval is the period of the background health prober
+	// started by Start (default 5s).
+	HealthInterval time.Duration
+	// MaxBody bounds client request bodies (default
+	// serve.DefaultMaxBodyBytes). Size it to match the backends'
+	// -max-body: the router must not reject documents its nodes would
+	// accept.
+	MaxBody int64
+}
+
+// Router partitions documents across N backend nodes with the same
+// FNV-1a function the in-process store uses for shards
+// (store.KeyShard), so a document's owning node is computed, never
+// looked up. /documents and /query are forwarded to the owner (with
+// replica retry when it is down); /batch fans out scatter-gather
+// style, merging every backend's NDJSON stream into one
+// completion-order stream whose lines are tagged with the global query
+// index, the document, and the node that produced it — per-source
+// provenance in the spirit of annotated query answering. A Router
+// over one peer is a plain reverse proxy: single-node deployments are
+// the degenerate case, not a separate code path.
+type Router struct {
+	peers []*Node
+	opts  Options
+
+	requests atomic.Uint64 // client requests routed
+	retried  atomic.Uint64 // replica retries after an unreachable peer
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New creates a Router over the given peers (at least one).
+func New(peers []*Node, opts Options) (*Router, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("cluster: router needs at least one peer")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = 5 * time.Second
+	}
+	if opts.Retries > len(peers)-1 {
+		opts.Retries = len(peers) - 1
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = serve.DefaultMaxBodyBytes
+	}
+	return &Router{peers: peers, opts: opts, stop: make(chan struct{})}, nil
+}
+
+// Peers returns the router's peer nodes in ring order.
+func (r *Router) Peers() []*Node { return r.peers }
+
+// Owner returns the node that owns doc under the cluster's
+// partitioning function.
+func (r *Router) Owner(doc string) *Node {
+	return r.peers[store.KeyShard(doc, len(r.peers))]
+}
+
+// candidates returns the nodes a request for doc may be served by:
+// the owner followed by the next Retries peers in ring order, with
+// known-unhealthy nodes moved to the back so a live replica is tried
+// before a dead owner (the dead one stays a last resort — health
+// information can be stale).
+func (r *Router) candidates(doc string) []*Node {
+	own := store.KeyShard(doc, len(r.peers))
+	ring := make([]*Node, 0, 1+r.opts.Retries)
+	for i := 0; i <= r.opts.Retries; i++ {
+		ring = append(ring, r.peers[(own+i)%len(r.peers)])
+	}
+	sort.SliceStable(ring, func(i, j int) bool {
+		return ring[i].Healthy() && !ring[j].Healthy()
+	})
+	return ring
+}
+
+// Start launches the background health prober; Stop ends it. Probes
+// run immediately and then every HealthInterval.
+func (r *Router) Start() {
+	go func() {
+		t := time.NewTicker(r.opts.HealthInterval)
+		defer t.Stop()
+		for {
+			r.CheckHealth()
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop ends the background health prober.
+func (r *Router) Stop() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// CheckHealth probes every peer's /healthz once, concurrently, and
+// returns how many are healthy.
+func (r *Router) CheckHealth() int {
+	var wg sync.WaitGroup
+	for _, n := range r.peers {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
+			defer cancel()
+			n.Healthz(ctx)
+		}(n)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, n := range r.peers {
+		if n.Healthy() {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// statusFor maps a typed backend error to the HTTP status the router
+// answers with: sentinel conditions keep their canonical statuses, a
+// PeerError relays the backend's own status, and an unreachable peer
+// is a 502.
+func statusFor(err error) int {
+	var pe *PeerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrFull):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, store.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &pe):
+		return pe.Status
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusBadGateway
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Handler returns the router's HTTP handler. The surface mirrors a
+// single xpathserve node — /documents, /query, /batch, /stats — so
+// clients do not care whether they talk to one node or a fleet; the
+// additions are /health (per-peer view) and the node/doc tags on
+// routed results.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", r.handleDocuments)
+	mux.HandleFunc("/query", r.handleQuery)
+	mux.HandleFunc("/batch", r.handleBatch)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/health", r.handleHealth)
+	mux.HandleFunc("/healthz", r.handleHealth)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Body != nil {
+			req.Body = http.MaxBytesReader(w, req.Body, r.opts.MaxBody)
+		}
+		r.requests.Add(1)
+		mux.ServeHTTP(w, req)
+	})
+}
+
+// handleDocuments routes document registration, fetch and eviction to
+// the owning node, and merges all peers' listings for the bare GET.
+func (r *Router) handleDocuments(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodPost:
+		var body serve.DocumentRequest
+		if !serve.DecodeJSON(w, req, &body) {
+			return
+		}
+		if body.Name == "" || body.XML == "" {
+			serve.HTTPError(w, http.StatusBadRequest, "both name and xml are required")
+			return
+		}
+		r.routeDoc(w, req, body.Name, false, func(n *Node) (any, error) {
+			nodes, err := n.PutDocument(req.Context(), body.Name, body.XML)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]any{"name": body.Name, "nodes": nodes, "node": n.Name()}, nil
+		})
+	case http.MethodGet:
+		if name := req.URL.Query().Get("name"); name != "" {
+			r.routeDoc(w, req, name, true, func(n *Node) (any, error) {
+				info, err := n.GetDocument(req.Context(), name)
+				if err != nil {
+					return nil, err
+				}
+				return map[string]any{
+					"name": info.Name, "nodes": info.Nodes, "bytes": info.Bytes,
+					"idle_ms": info.IdleMs, "xml": info.XML, "node": n.Name(),
+				}, nil
+			})
+			return
+		}
+		r.handleDocumentList(w, req)
+	case http.MethodDelete:
+		name := req.URL.Query().Get("name")
+		if name == "" {
+			serve.HTTPError(w, http.StatusBadRequest, "name is required")
+			return
+		}
+		r.routeDoc(w, req, name, true, func(n *Node) (any, error) {
+			if err := n.DeleteDocument(req.Context(), name); err != nil {
+				return nil, err
+			}
+			return map[string]any{"deleted": name, "node": n.Name()}, nil
+		})
+	default:
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST a {name, xml} object, GET to list (?name= for one), DELETE ?name= to evict")
+	}
+}
+
+// routeDoc runs one owner-routed call with replica retry: the
+// candidates are tried in order and an unreachable peer always falls
+// through to the next. readFallback additionally falls through when a
+// live candidate answers "not found" — the read half of replica
+// failover: a document registered on a replica while its owner was
+// down stays readable (and deletable) after the owner recovers,
+// because reads probe the rest of the retry ring before reporting the
+// 404. Writes must not do this (registration retried past a live
+// owner would fork the document), so POST keeps readFallback off.
+func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, readFallback bool, call func(*Node) (any, error)) {
+	var lastErr error
+	for i, n := range r.candidates(doc) {
+		if i > 0 {
+			r.retried.Add(1)
+		}
+		out, err := call(n)
+		if err == nil {
+			serve.WriteJSON(w, http.StatusOK, out)
+			return
+		}
+		if lastErr == nil || !errors.Is(err, ErrUnavailable) {
+			// Prefer reporting an application answer (the 404) over
+			// the transport noise of whichever replica was dead.
+			lastErr = err
+		}
+		if req.Context().Err() != nil {
+			break
+		}
+		if errors.Is(err, ErrUnavailable) || (readFallback && errors.Is(err, ErrNotFound)) {
+			continue
+		}
+		break
+	}
+	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+}
+
+// handleDocumentList merges every peer's listing; entries are tagged
+// with the node that holds them, and unreachable peers are reported
+// alongside the merged list instead of failing it.
+func (r *Router) handleDocumentList(w http.ResponseWriter, req *http.Request) {
+	type taggedDoc struct {
+		serve.DocInfo
+		Node string `json:"node"`
+	}
+	var mu sync.Mutex
+	docs := []taggedDoc{}
+	nodeErrs := map[string]string{}
+	var wg sync.WaitGroup
+	for _, n := range r.peers {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			list, err := n.Documents(req.Context())
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				nodeErrs[n.Name()] = err.Error()
+				return
+			}
+			for _, d := range list {
+				docs = append(docs, taggedDoc{DocInfo: d, Node: n.Name()})
+			}
+		}(n)
+	}
+	wg.Wait()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	out := map[string]any{"documents": docs}
+	if len(nodeErrs) > 0 {
+		out["node_errors"] = nodeErrs
+	}
+	serve.WriteJSON(w, http.StatusOK, out)
+}
+
+// handleQuery forwards one query to the owning node (with replica
+// retry) and relays the backend's status and body, tagged with the
+// node that answered.
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	var body serve.QueryRequest
+	switch req.Method {
+	case http.MethodGet:
+		body.Doc = req.URL.Query().Get("doc")
+		body.Query = req.URL.Query().Get("q")
+	case http.MethodPost:
+		if !serve.DecodeJSON(w, req, &body) {
+			return
+		}
+	default:
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET ?doc=&q= or POST {doc, query}")
+		return
+	}
+	if body.Doc == "" || body.Query == "" {
+		serve.HTTPError(w, http.StatusBadRequest, "both doc and query are required")
+		return
+	}
+	var lastErr error
+	var notFound map[string]any // first live candidate's 404, relayed if nobody has the doc
+	for i, n := range r.candidates(body.Doc) {
+		if i > 0 {
+			r.retried.Add(1)
+		}
+		status, resp, err := n.Query(req.Context(), body.Doc, body.Query)
+		if err == nil {
+			resp["node"] = n.Name()
+			if status == http.StatusNotFound {
+				// Read fallback: the doc may live on a replica it
+				// failed over to while this node was down.
+				if notFound == nil {
+					notFound = resp
+				}
+				continue
+			}
+			serve.WriteJSON(w, status, resp)
+			return
+		}
+		lastErr = err
+		if !errors.Is(err, ErrUnavailable) || req.Context().Err() != nil {
+			break
+		}
+	}
+	if notFound != nil {
+		serve.WriteJSON(w, http.StatusNotFound, notFound)
+		return
+	}
+	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+}
+
+// routerBatchRequest is the router's /batch body: either one doc (the
+// xpathserve-compatible form) or several. With several, the job list
+// is the cross product in doc-major order — for docs [a, b] and Q
+// queries, job index i covers doc a for i < Q and doc b for Q ≤ i < 2Q
+// — and "index" on each streamed line is that global job index.
+type routerBatchRequest struct {
+	Doc     string   `json:"doc,omitempty"`
+	Docs    []string `json:"docs,omitempty"`
+	Queries []string `json:"queries"`
+}
+
+// handleBatch is the scatter-gather path: one backend /batch stream
+// per requested document, all tied to the client's request context,
+// merged line by line in completion order. Every line carries the
+// global job index, the document, and the producing node; a document
+// whose node cannot be reached (after replica retry) yields one typed
+// error line per job instead of stalling the stream, so exactly one
+// line per job index always arrives.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST a {doc|docs, queries} object")
+		return
+	}
+	var body routerBatchRequest
+	if !serve.DecodeJSON(w, req, &body) {
+		return
+	}
+	docs := body.Docs
+	if body.Doc != "" {
+		docs = append([]string{body.Doc}, docs...)
+	}
+	if len(docs) == 0 || len(body.Queries) == 0 {
+		serve.HTTPError(w, http.StatusBadRequest, "doc (or docs) and queries are required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := req.Context()
+
+	var mu sync.Mutex // serializes enc writes across backend streams
+	writeLine := func(line map[string]any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ctx.Err() != nil {
+			return // client is gone; backends are being cancelled
+		}
+		enc.Encode(line)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for di, doc := range docs {
+		wg.Add(1)
+		go func(doc string, base int) {
+			defer wg.Done()
+			r.streamDoc(ctx, doc, base, body.Queries, writeLine)
+		}(doc, di*len(body.Queries))
+	}
+	wg.Wait()
+}
+
+// streamDoc relays one document's backend batch stream, re-tagging
+// each line with its global index, the document, and the node.
+// Replica retry applies only before the first line is on the wire;
+// after a mid-stream failure, the queries that already streamed are
+// not replayed (the client has their lines) and the rest become error
+// lines, so the merged stream still carries exactly one line per job.
+func (r *Router) streamDoc(ctx context.Context, doc string, base int, queries []string, writeLine func(map[string]any)) {
+	emitted := make([]bool, len(queries))
+	var lastErr error
+	var lastNode string
+	for i, n := range r.candidates(doc) {
+		if i > 0 {
+			r.retried.Add(1)
+		}
+		streamed := false
+		err := n.StreamBatch(ctx, doc, queries, func(line map[string]any) error {
+			streamed = true
+			if li, ok := line["index"].(float64); ok {
+				local := int(li)
+				if local >= 0 && local < len(emitted) {
+					emitted[local] = true
+				}
+				line["index"] = base + local
+			}
+			line["doc"] = doc
+			line["node"] = n.Name()
+			writeLine(line)
+			return nil
+		})
+		if err == nil {
+			return
+		}
+		lastErr, lastNode = err, n.Name()
+		if ctx.Err() != nil {
+			return // client gone; no error lines into a dead stream
+		}
+		// With nothing on the wire yet, an unreachable peer is the
+		// replica-retry case and a live peer's "unknown document" is
+		// the read-fallback case (the doc may have failed over to a
+		// replica); anything else — or a stream that already delivered
+		// lines — ends the attempts.
+		if streamed || !(errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotFound)) {
+			break
+		}
+	}
+	for j := range queries {
+		if emitted[j] {
+			continue
+		}
+		writeLine(map[string]any{
+			"index": base + j,
+			"doc":   doc,
+			"node":  lastNode,
+			"query": queries[j],
+			"error": lastErr.Error(),
+		})
+	}
+}
+
+// handleStats aggregates the fleet: each peer's raw /stats under its
+// node name, the summed store fill, and the router's own counters.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var mu sync.Mutex
+	nodes := map[string]any{}
+	var total store.Stats
+	healthy := 0
+	var wg sync.WaitGroup
+	for _, n := range r.peers {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			st, err := n.Stats(req.Context())
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				nodes[n.Name()] = map[string]string{"error": err.Error()}
+				return
+			}
+			healthy++
+			nodes[n.Name()] = st.Raw
+			total.Entries += st.Store.Entries
+			total.Bytes += st.Store.Bytes
+			total.Hits += st.Store.Hits
+			total.Misses += st.Store.Misses
+			total.Evictions += st.Store.Evictions
+		}(n)
+	}
+	wg.Wait()
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"router": map[string]any{
+			"peers":    len(r.peers),
+			"healthy":  healthy,
+			"requests": r.requests.Load(),
+			"retries":  r.retried.Load(),
+		},
+		"store_total": total,
+		"nodes":       nodes,
+	})
+}
+
+// handleHealth reports the router's view of the fleet from the last
+// probes (run by Start's background loop and updated by every routed
+// call); it answers 200 as long as any peer is healthy, so a load
+// balancer in front of several routers drains one only when its whole
+// fleet is gone.
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type peerHealth struct {
+		Node      string `json:"node"`
+		URL       string `json:"url"`
+		Healthy   bool   `json:"healthy"`
+		LastError string `json:"last_error,omitempty"`
+		LastCheck string `json:"last_check,omitempty"`
+	}
+	peers := make([]peerHealth, len(r.peers))
+	healthy := 0
+	for i, n := range r.peers {
+		ph := peerHealth{Node: n.Name(), URL: n.URL(), Healthy: n.Healthy(), LastError: n.LastErr()}
+		if lc := n.LastCheck(); !lc.IsZero() {
+			ph.LastCheck = lc.UTC().Format(time.RFC3339Nano)
+		}
+		if ph.Healthy {
+			healthy++
+		}
+		peers[i] = ph
+	}
+	status := http.StatusOK
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	serve.WriteJSON(w, status, map[string]any{"ok": healthy > 0, "healthy": healthy, "peers": peers})
+}

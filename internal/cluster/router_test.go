@@ -1,0 +1,528 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// newCluster boots n real xpathserve backends behind a router.
+func newCluster(t *testing.T, n int, opts Options, cfg store.Config) (*Router, *httptest.Server, []*backend) {
+	t.Helper()
+	backends := make([]*backend, n)
+	nodes := make([]*Node, n)
+	for i := range backends {
+		backends[i] = newBackend(t, cfg)
+		nodes[i] = backends[i].node
+	}
+	router, err := New(nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(router.Handler())
+	t.Cleanup(ts.Close)
+	return router, ts, backends
+}
+
+// namesOwnedBy returns want document names per owner index under the
+// cluster's partitioning function.
+func namesOwnedBy(n, want int) [][]string {
+	out := make([][]string, n)
+	need := n * want
+	for i := 0; need > 0; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		o := store.KeyShard(name, n)
+		if len(out[o]) < want {
+			out[o] = append(out[o], name)
+			need--
+		}
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// readNDJSON consumes a streamed response body line by line.
+func readNDJSON(t *testing.T, resp *http.Response) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestRoutedQueryAndPlacement is the single-document acceptance path:
+// documents registered through the router land on exactly their owning
+// node, a routed /query answers from that node (tagged with it), and
+// /stats aggregates the fleet.
+func TestRoutedQueryAndPlacement(t *testing.T) {
+	router, ts, backends := newCluster(t, 2, Options{}, store.Config{})
+	owned := namesOwnedBy(2, 2)
+	for _, names := range owned {
+		for _, name := range names {
+			resp, out := postJSON(t, ts.URL+"/documents", map[string]string{
+				"name": name, "xml": "<a><b/><b/><b/></a>",
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("register %s: %d %v", name, resp.StatusCode, out)
+			}
+			if out["node"] != router.Owner(name).Name() {
+				t.Fatalf("register %s answered by %v, want owner %s", name, out["node"], router.Owner(name).Name())
+			}
+		}
+	}
+	// Placement: each backend holds exactly its owned names.
+	for i, b := range backends {
+		for j, names := range owned {
+			for _, name := range names {
+				_, ok := b.srv.Session(name)
+				if want := i == j; ok != want {
+					t.Fatalf("backend %d holds %s = %v, want %v", i, name, ok, want)
+				}
+			}
+		}
+	}
+	// Routed query, both GET and POST forms, tagged with the owner.
+	for owner, names := range owned {
+		name := names[0]
+		resp, out := getJSON(t, ts.URL+"/query?doc="+name+"&q=count(//b)")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed query status = %d, body %v", resp.StatusCode, out)
+		}
+		if val := out["value"].(map[string]any); val["number"] != 3.0 {
+			t.Fatalf("count(//b) over %s = %v, want 3", name, val["number"])
+		}
+		if out["node"] != backends[owner].node.Name() {
+			t.Fatalf("query %s answered by %v, want %s", name, out["node"], backends[owner].node.Name())
+		}
+	}
+	// Unknown document: typed 404 from the owner, relayed.
+	if resp, _ := getJSON(t, ts.URL+"/query?doc=never-registered&q=count(//b)"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc status = %d, want 404", resp.StatusCode)
+	}
+	// Fleet stats: both nodes reporting, store totals summed.
+	_, stats := getJSON(t, ts.URL+"/stats")
+	if nodes := stats["nodes"].(map[string]any); len(nodes) != 2 {
+		t.Fatalf("stats nodes = %v, want 2 entries", nodes)
+	}
+	if total := stats["store_total"].(map[string]any); total["entries"].(float64) != 4 {
+		t.Fatalf("store_total = %v, want 4 entries", total)
+	}
+	// Merged listing: all 4 documents, each tagged with its node.
+	_, listing := getJSON(t, ts.URL+"/documents")
+	docs := listing["documents"].([]any)
+	if len(docs) != 4 {
+		t.Fatalf("merged listing has %d documents, want 4", len(docs))
+	}
+	for _, d := range docs {
+		entry := d.(map[string]any)
+		if entry["node"] != router.Owner(entry["name"].(string)).Name() {
+			t.Fatalf("listing entry %v not tagged with its owner", entry)
+		}
+	}
+}
+
+// TestScatterGatherBatch fans one batch across both nodes and checks
+// the merged NDJSON stream: exactly one line per global job index
+// (doc-major), every line tagged with its doc and owning node, results
+// from both nodes interleaved into a single stream, and per-query
+// errors carried inline.
+func TestScatterGatherBatch(t *testing.T) {
+	router, ts, _ := newCluster(t, 2, Options{}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	docA, docB := owned[0][0], owned[1][0]
+	for _, name := range []string{docA, docB} {
+		if resp, out := postJSON(t, ts.URL+"/documents", map[string]string{
+			"name": name, "xml": "<a><b/><b/></a>",
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: %d %v", name, resp.StatusCode, out)
+		}
+	}
+	queries := []string{"count(//b)", "//[", "sum(//b) = 0"}
+	buf, _ := json.Marshal(map[string]any{"docs": []string{docA, docB}, "queries": queries})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := readNDJSON(t, resp)
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	byIndex := make([]map[string]any, 6)
+	nodesSeen := map[string]bool{}
+	for _, line := range lines {
+		i := int(line["index"].(float64))
+		if i < 0 || i >= 6 || byIndex[i] != nil {
+			t.Fatalf("bad or duplicate index %d in %v", i, line)
+		}
+		byIndex[i] = line
+		nodesSeen[line["node"].(string)] = true
+	}
+	if len(nodesSeen) != 2 {
+		t.Fatalf("stream carried results from %d node(s), want both: %v", len(nodesSeen), nodesSeen)
+	}
+	for i, line := range byIndex {
+		doc, q := docA, queries[i%3]
+		if i >= 3 {
+			doc = docB
+		}
+		if line["doc"] != doc || line["query"] != q {
+			t.Fatalf("index %d = (%v, %v), want (%s, %q)", i, line["doc"], line["query"], doc, q)
+		}
+		if line["node"] != router.Owner(doc).Name() {
+			t.Fatalf("index %d produced by %v, want owner %s", i, line["node"], router.Owner(doc).Name())
+		}
+		if i%3 == 1 {
+			if msg, ok := line["error"].(string); !ok || msg == "" {
+				t.Fatalf("index %d (invalid query) carried no error: %v", i, line)
+			}
+		} else if line["value"] == nil {
+			t.Fatalf("index %d carried no value: %v", i, line)
+		}
+	}
+}
+
+// slowQuery forces an O(|D|²) tabulation with cancellation checkpoints
+// throughout — the workload for the streaming/cancellation tests
+// (mirrors the serving layer's).
+const slowQuery = "count(//*[count(preceding::*) > count(following::*)])"
+
+// TestBatchStreamsAcrossNodesBeforeCompletion pins the completion-order
+// merge: with the slow document on one node and a tiny one on the
+// other, the tiny document's line must be on the wire while the other
+// node is still evaluating — the router does not buffer per-doc.
+func TestBatchStreamsAcrossNodesBeforeCompletion(t *testing.T) {
+	_, ts, backends := newCluster(t, 2, Options{}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	slowDoc, fastDoc := owned[0][0], owned[1][0]
+	if _, err := backends[0].srv.AddDocument(slowDoc, workload.Doc(1500).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backends[1].srv.AddDocument(fastDoc, "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(map[string]any{"docs": []string{slowDoc, fastDoc}, "queries": []string{slowQuery}})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(first), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["doc"] != fastDoc || line["index"].(float64) != 1 {
+		t.Fatalf("first merged line = %v, want the fast doc (index 1)", line)
+	}
+	rest := readNDJSON(t, &http.Response{Body: resp.Body})
+	if len(rest) != 1 || rest[0]["doc"] != slowDoc {
+		t.Fatalf("remaining lines = %v, want the slow doc's result", rest)
+	}
+}
+
+// TestBatchCancelMidStream is the cancellation acceptance test: a
+// scatter-gather batch is abandoned mid-stream and every backend's
+// in-flight evaluation must drain promptly — the router propagates the
+// client's disconnect to all of its backend calls.
+func TestBatchCancelMidStream(t *testing.T) {
+	_, ts, backends := newCluster(t, 2, Options{}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	big := workload.Doc(10000).XMLString()
+	for i, names := range owned {
+		if _, err := backends[i].srv.AddDocument(names[0], big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, _ := json.Marshal(map[string]any{
+		"docs":    []string{owned[0][0], owned[1][0]},
+		"queries": []string{slowQuery},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/batch", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Both backends must be evaluating before we pull the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, b := range backends {
+		for b.srv.Engine().Stats().InFlight < 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("backends never started evaluating")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	for _, b := range backends {
+		for b.srv.Engine().Stats().InFlight != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("backend in-flight work survived cancellation: %+v", b.srv.Engine().Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestDownedPeer pins the failure modes of an unreachable node: with
+// no replica budget a routed request answers promptly with a typed 502
+// (never hangs), and with -replica-retry the same registration fails
+// over to the next live peer. The batch path degrades to per-job typed
+// error lines instead of stalling the merged stream.
+func TestDownedPeer(t *testing.T) {
+	router, ts, backends := newCluster(t, 2, Options{Timeout: 2 * time.Second}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	deadDoc, liveDoc := owned[1][0], owned[0][0]
+	if resp, _ := postJSON(t, ts.URL+"/documents", map[string]string{"name": liveDoc, "xml": "<a/>"}); resp.StatusCode != 200 {
+		t.Fatal("live registration failed")
+	}
+	backends[1].ts.Close() // the owner of deadDoc goes down
+
+	start := time.Now()
+	resp, out := getJSON(t, ts.URL+"/query?doc="+deadDoc+"&q=count(//b)")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("downed-peer query status = %d, body %v, want 502", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "peer unavailable") {
+		t.Fatalf("error %q does not carry the typed unavailability", msg)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("downed-peer query took %v, want a prompt typed error", took)
+	}
+
+	// The live doc still routes fine around the dead peer.
+	if resp, _ := getJSON(t, ts.URL+"/query?doc="+liveDoc+"&q=count(//b)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("live doc unusable with a peer down: %d", resp.StatusCode)
+	}
+
+	// Batch over both docs: the dead doc's jobs come back as typed
+	// error lines, the live doc's as results; nothing hangs.
+	buf, _ := json.Marshal(map[string]any{"docs": []string{liveDoc, deadDoc}, "queries": []string{"count(//b)"}})
+	bresp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	lines := readNDJSON(t, bresp)
+	if len(lines) != 2 {
+		t.Fatalf("got %d batch lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		if line["doc"] == deadDoc {
+			if msg, _ := line["error"].(string); !strings.Contains(msg, "peer unavailable") {
+				t.Fatalf("dead doc line = %v, want typed unavailability error", line)
+			}
+		} else if line["value"] == nil {
+			t.Fatalf("live doc line carried no value: %v", line)
+		}
+	}
+
+	// Replica retry: a router with a failover budget lands the dead
+	// peer's documents on the next node in the ring.
+	retryRouter, err := New([]*Node{backends[0].node, backends[1].node}, Options{Retries: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(retryRouter.Handler())
+	t.Cleanup(rts.Close)
+	resp, out = postJSON(t, rts.URL+"/documents", map[string]string{"name": deadDoc, "xml": "<a><b/></a>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover registration status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["node"] != backends[0].node.Name() {
+		t.Fatalf("failover landed on %v, want surviving node %s", out["node"], backends[0].node.Name())
+	}
+	resp, out = getJSON(t, rts.URL+"/query?doc="+deadDoc+"&q=count(//b)")
+	if resp.StatusCode != http.StatusOK || out["value"].(map[string]any)["number"] != 1.0 {
+		t.Fatalf("failover query = %d %v", resp.StatusCode, out)
+	}
+	_ = router
+}
+
+// TestReadFallbackAfterOwnerRecovers pins read-your-writes across a
+// failover cycle: a document registered on a replica while its owner
+// was down must stay readable (query, fetch, batch) and deletable
+// through the router after the owner comes back and answers 404 —
+// reads probe the retry ring before trusting a live owner's 404.
+func TestReadFallbackAfterOwnerRecovers(t *testing.T) {
+	_, _, backends := newCluster(t, 2, Options{}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	doc := owned[1][0] // owned by backend 1, registered only on backend 0
+	if _, err := backends[0].srv.AddDocument(doc, "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	retryRouter, err := New([]*Node{backends[0].node, backends[1].node}, Options{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(retryRouter.Handler())
+	t.Cleanup(rts.Close)
+
+	resp, out := getJSON(t, rts.URL+"/query?doc="+doc+"&q=count(//b)")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failed-over doc unreadable past live owner: %d %v", resp.StatusCode, out)
+	}
+	if out["node"] != backends[0].node.Name() {
+		t.Fatalf("answered by %v, want the replica %s", out["node"], backends[0].node.Name())
+	}
+	if resp, out := getJSON(t, rts.URL+"/documents?name="+doc); resp.StatusCode != http.StatusOK || out["xml"] == "" {
+		t.Fatalf("failed-over doc not fetchable: %d %v", resp.StatusCode, out)
+	}
+	buf, _ := json.Marshal(map[string]any{"doc": doc, "queries": []string{"count(//b)"}})
+	bresp, err := http.Post(rts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	lines := readNDJSON(t, bresp)
+	if len(lines) != 1 || lines[0]["value"] == nil {
+		t.Fatalf("failed-over batch = %v, want one result line", lines)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, rts.URL+"/documents?name="+doc, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("failed-over doc not deletable: %d", dresp.StatusCode)
+	}
+	// A doc registered nowhere still reports a plain 404.
+	if resp, _ := getJSON(t, rts.URL+"/query?doc=truly-missing&q=count(//b)"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing doc status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthEndpoint pins the router's fleet view: probes mark a
+// downed node, /health reports per-peer state, and an all-dead fleet
+// answers 503.
+func TestHealthEndpoint(t *testing.T) {
+	router, ts, backends := newCluster(t, 2, Options{Timeout: time.Second}, store.Config{})
+	if h := router.CheckHealth(); h != 2 {
+		t.Fatalf("CheckHealth = %d, want 2", h)
+	}
+	backends[1].ts.Close()
+	if h := router.CheckHealth(); h != 1 {
+		t.Fatalf("CheckHealth with one down = %d, want 1", h)
+	}
+	resp, out := getJSON(t, ts.URL+"/health")
+	if resp.StatusCode != http.StatusOK || out["ok"] != true {
+		t.Fatalf("health = %d %v, want 200 ok", resp.StatusCode, out)
+	}
+	peers := out["peers"].([]any)
+	if len(peers) != 2 {
+		t.Fatalf("health lists %d peers, want 2", len(peers))
+	}
+	downSeen := false
+	for _, p := range peers {
+		ph := p.(map[string]any)
+		if ph["node"] == backends[1].node.Name() {
+			downSeen = true
+			if ph["healthy"] != false || ph["last_error"] == "" {
+				t.Fatalf("downed peer reported %v", ph)
+			}
+		}
+	}
+	if !downSeen {
+		t.Fatal("downed peer missing from /health")
+	}
+	backends[0].ts.Close()
+	router.CheckHealth()
+	if resp, _ := getJSON(t, ts.URL+"/health"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-dead health status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestSinglePeerDegenerate pins the 1-peer deployment: the router is a
+// transparent proxy and every surface works unchanged.
+func TestSinglePeerDegenerate(t *testing.T) {
+	router, ts, backends := newCluster(t, 1, Options{}, store.Config{})
+	if resp, _ := postJSON(t, ts.URL+"/documents", map[string]string{"name": "solo", "xml": "<a><b/><b/></a>"}); resp.StatusCode != 200 {
+		t.Fatal("registration through 1-peer router failed")
+	}
+	if router.Owner("solo") != backends[0].node {
+		t.Fatal("1-peer owner is not the single peer")
+	}
+	resp, out := getJSON(t, ts.URL+"/query?doc=solo&q=count(//b)")
+	if resp.StatusCode != 200 || out["value"].(map[string]any)["number"] != 2.0 {
+		t.Fatalf("1-peer query = %d %v", resp.StatusCode, out)
+	}
+	buf, _ := json.Marshal(map[string]any{"doc": "solo", "queries": []string{"count(//b)", "1 = 1"}})
+	bresp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if lines := readNDJSON(t, bresp); len(lines) != 2 {
+		t.Fatalf("1-peer batch returned %d lines, want 2", len(lines))
+	}
+}

@@ -256,29 +256,27 @@ func (en *Engine) Evaluate(q *Query, c Context) (Value, error) {
 
 // EvaluateContext computes the query's value for an explicit context,
 // abandoning the evaluation with ctx's error once ctx is done. The
-// polynomial engines (BottomUp, TopDown, MinContext, OptMinContext —
-// and therefore Auto) carry cancellation checkpoints inside their
-// document-sized loops, so an abandoned request stops burning CPU
-// mid-query; the linear-time fragment engines finish faster than a
-// checkpoint would pay for itself and the deliberately exponential
-// baselines (Naive, DataPool) are bounded by NaiveBudget instead, so
-// for those strategies ctx is only consulted before evaluation starts.
+// cancellation contract is uniform across every strategy: all engines
+// carry throttled checkpoints inside their evaluation loops — the
+// polynomial engines (BottomUp, TopDown, MinContext, OptMinContext)
+// inside their document-sized table loops, the linear fragment engines
+// (CoreXPath, XPatterns) billed per O(|D|) set operation, and the
+// exponential baselines (Naive, DataPool) on every elementary step —
+// so an abandoned request stops burning CPU mid-query no matter which
+// algorithm is running.
 func (en *Engine) EvaluateContext(ctx context.Context, q *Query, c Context) (Value, error) {
+	if err := ctx.Err(); err != nil {
+		return Value{}, err
+	}
 	switch en.StrategyFor(q) {
 	case Naive:
-		if err := ctx.Err(); err != nil {
-			return Value{}, err
-		}
 		ev := naive.New(en.doc)
 		ev.Budget = en.NaiveBudget
-		return ev.Evaluate(q.expr, c)
+		return ev.EvaluateContext(ctx, q.expr, c)
 	case DataPool:
-		if err := ctx.Err(); err != nil {
-			return Value{}, err
-		}
 		ev, _ := datapool.NewEvaluator(en.doc)
 		ev.Budget = en.NaiveBudget
-		return ev.Evaluate(q.expr, c)
+		return ev.EvaluateContext(ctx, q.expr, c)
 	case BottomUp:
 		ev := bottomup.New(en.doc)
 		ev.MaxTableRows = en.MaxTableRows
@@ -290,15 +288,9 @@ func (en *Engine) EvaluateContext(ctx context.Context, q *Query, c Context) (Val
 	case OptMinContext:
 		return wadler.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	case CoreXPath:
-		if err := ctx.Err(); err != nil {
-			return Value{}, err
-		}
-		return corexpath.New(en.doc).Evaluate(q.expr, c)
+		return corexpath.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	case XPatterns:
-		if err := ctx.Err(); err != nil {
-			return Value{}, err
-		}
-		return xpatterns.New(en.doc).Evaluate(q.expr, c)
+		return xpatterns.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	default:
 		return Value{}, fmt.Errorf("core: unknown strategy %v", en.strategy)
 	}

@@ -23,6 +23,7 @@
 package corexpath
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/axes"
@@ -35,6 +36,11 @@ import (
 // Evaluator evaluates Core XPath queries over one document.
 type Evaluator struct {
 	doc *xmltree.Document
+
+	// cancel is the throttled cancellation checkpoint billed once per
+	// set-algebra operation (each costs O(|D|)); nil (the Evaluate
+	// path) never fires.
+	cancel *evalutil.Canceller
 }
 
 // New returns a Core XPath evaluator for the document.
@@ -101,11 +107,27 @@ func isPred(e xpath.Expr) bool {
 // Evaluate computes the query for a single context node using the
 // linear-time algebra. The query must be in the fragment.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: the set algebra bills
+// each O(|D|) operation (axis application, intersection, document
+// scan) against a throttled checkpoint and abandons the evaluation
+// with ctx's error once it is done, so even maliciously long queries
+// over large documents stop promptly.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.cancel = evalutil.NewCanceller(ctx)
 	s, err := ev.EvaluateSet(e, xmltree.NodeSet{c.Node})
 	if err != nil {
 		return semantics.Value{}, err
 	}
 	return semantics.NodeSet(s), nil
+}
+
+// checkpoint bills one whole-document set operation against the
+// cancellation checkpoint.
+func (ev *Evaluator) checkpoint() error {
+	return ev.cancel.CheckN(ev.doc.Len())
 }
 
 // EvaluateSet computes S→[[π]](N0) for a set of context nodes.
@@ -130,6 +152,9 @@ func (ev *Evaluator) EvaluateSet(e xpath.Expr, n0 xmltree.NodeSet) (xmltree.Node
 			cur = xmltree.NodeSet{ev.doc.RootID()}
 		}
 		for _, step := range x.Steps {
+			if err := ev.checkpoint(); err != nil {
+				return nil, err
+			}
 			// S→[[π/χ::t[e]]](N0) = χ(S→[[π]](N0)) ∩ T(t) ∩ E1[[e]].
 			cur = evalutil.StepCandidatesSet(ev.doc, step.Axis, step.Test, cur)
 			for _, p := range step.Preds {
@@ -157,6 +182,9 @@ func (ev *Evaluator) dom() xmltree.NodeSet {
 
 // e1 computes E1[[e]]: the set of nodes at which the predicate holds.
 func (ev *Evaluator) e1(e xpath.Expr) (xmltree.NodeSet, error) {
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
+	}
 	switch x := e.(type) {
 	case *xpath.Binary:
 		l, err := ev.e1(x.Left)
@@ -207,6 +235,9 @@ func (ev *Evaluator) sBack(p *xpath.Path) (xmltree.NodeSet, error) {
 	// predicates, then walk backwards.
 	cur := ev.dom()
 	for i := len(p.Steps) - 1; i >= 0; i-- {
+		if err := ev.checkpoint(); err != nil {
+			return nil, err
+		}
 		step := p.Steps[i]
 		// cur' = χ⁻¹(cur ∩ T(t) ∩ E1[[e1]] ∩ … ∩ E1[[em]])
 		s := evalutil.FilterTest(ev.doc, step.Axis, step.Test, cur)

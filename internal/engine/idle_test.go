@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSessionIdleTracking pins down the idle signal the serving layer's
+// -maxidle eviction relies on: a fresh session's LastUsed is its
+// creation time, every query refreshes it, and IdleFor grows while the
+// session sits cold.
+func TestSessionIdleTracking(t *testing.T) {
+	d, err := core.ParseString("<a><b/><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{})
+	before := time.Now()
+	sess := eng.NewSession(d)
+	if lu := sess.LastUsed(); lu.Before(before.Add(-time.Second)) || lu.After(time.Now()) {
+		t.Fatalf("fresh session LastUsed = %v, want ~now", lu)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	idleBefore := sess.IdleFor()
+	if idleBefore < 10*time.Millisecond {
+		t.Fatalf("IdleFor = %v after 20ms of silence", idleBefore)
+	}
+
+	if res := sess.Do("count(//b)"); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if idle := sess.IdleFor(); idle >= idleBefore {
+		t.Fatalf("query did not refresh idle clock: %v >= %v", idle, idleBefore)
+	}
+
+	// A failing query string never reaches evaluation, so it must not
+	// refresh the clock (compile errors are not "use" of the document).
+	stamp := sess.LastUsed()
+	time.Sleep(5 * time.Millisecond)
+	if res := sess.Do("//["); res.Err == nil {
+		t.Fatal("malformed query did not error")
+	}
+	if got := sess.LastUsed(); !got.Equal(stamp) {
+		t.Fatalf("compile error refreshed LastUsed: %v -> %v", stamp, got)
+	}
+}

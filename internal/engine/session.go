@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bottomup"
 	"repro/internal/core"
@@ -21,6 +23,12 @@ type Session struct {
 	en      *core.Engine
 	fb      *core.Engine // MinContext engine for ErrTableLimit fallback
 	workers int
+
+	// lastUsed is the unix-nano timestamp of the most recent query
+	// dispatched against this session (its creation time before any
+	// query). The serving layer's idle eviction reads it through
+	// LastUsed/IdleFor to trim documents that have gone cold.
+	lastUsed atomic.Int64
 }
 
 // NewSession creates a session over a document.
@@ -32,11 +40,23 @@ func (e *Engine) NewSession(d *core.Document) *Session {
 	if e.opts.Fallback {
 		s.fb = core.NewEngine(d, core.MinContext)
 	}
+	s.lastUsed.Store(time.Now().UnixNano())
 	return s
 }
 
 // Document returns the session's document.
 func (s *Session) Document() *core.Document { return s.doc }
+
+// LastUsed returns the time the most recent query against this session
+// began (the session's creation time if it has never been queried).
+func (s *Session) LastUsed() time.Time {
+	return time.Unix(0, s.lastUsed.Load())
+}
+
+// IdleFor reports how long the session has gone without a query.
+func (s *Session) IdleFor() time.Duration {
+	return time.Since(s.LastUsed())
+}
 
 // Result is the full outcome of one query: the compiled form (nil when
 // compilation failed) and exactly one of Value and Err. FellBack
@@ -101,6 +121,7 @@ func (s *Session) EvaluateContext(ctx context.Context, q *core.Query) (core.Valu
 // MinContext, whose tables are polynomial in the document and so
 // cannot trip a row limit.
 func (s *Session) evaluate(ctx context.Context, q *core.Query) (core.Value, bool, error) {
+	s.lastUsed.Store(time.Now().UnixNano())
 	s.eng.inFlight.Add(1)
 	defer s.eng.inFlight.Add(-1)
 	root := core.Context{Node: s.doc.RootID(), Pos: 1, Size: 1}

@@ -43,3 +43,22 @@ func (c *Canceller) Check() error {
 	c.count = 0
 	return c.ctx.Err()
 }
+
+// CheckN bills n units of work against the checkpoint at once,
+// consulting the context when the accumulated work crosses the
+// throttle threshold. The linear engines use it to stay cancellable
+// without per-node overhead: they process whole node sets in bulk
+// operations (axis images, set intersections, document scans), so they
+// bill each operation's set size instead of calling Check per node.
+// Cancellation latency stays bounded by ~checkEvery units of work.
+func (c *Canceller) CheckN(n int) error {
+	if c == nil {
+		return nil
+	}
+	c.count += n
+	if c.count < checkEvery {
+		return nil
+	}
+	c.count = 0
+	return c.ctx.Err()
+}

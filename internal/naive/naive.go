@@ -13,6 +13,7 @@
 package naive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,6 +55,12 @@ type Evaluator struct {
 	// step applications and function evaluations); 0 means unlimited.
 	Budget int64
 	steps  int64
+
+	// cancel is the throttled cancellation checkpoint consulted by
+	// bill() on every elementary step; nil (the Evaluate path) never
+	// fires. It is what lets an exponential run be abandoned before
+	// the Budget — or the heat death of the universe — stops it.
+	cancel *evalutil.Canceller
 }
 
 type suffixKey struct {
@@ -90,6 +97,15 @@ func (ev *Evaluator) Steps() int64 { return ev.steps }
 
 // Evaluate computes [[e]](c) per Definition 5.1.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: every elementary
+// evaluation step consults a throttled checkpoint, so an exponential
+// recursion is abandoned with ctx's error soon after ctx is done
+// instead of running to completion (or to its Budget).
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.cancel = evalutil.NewCanceller(ctx)
 	ev.steps = 0
 	return ev.eval(e, c)
 }
@@ -99,7 +115,7 @@ func (ev *Evaluator) bill() error {
 	if ev.Budget > 0 && ev.steps > ev.Budget {
 		return ErrBudget
 	}
-	return nil
+	return ev.cancel.Check()
 }
 
 // eval is the direct functional implementation of [[·]]. With a pool it

@@ -1,0 +1,552 @@
+// Package serve is the HTTP/JSON serving layer of the stack: it binds
+// the sharded document store (internal/store) and the concurrent
+// evaluation engine (internal/engine) to a wire format. cmd/xpathserve
+// is a thin flag-parsing shell around this package, and the cluster
+// router (internal/cluster, cmd/xpathrouter) speaks the same wire
+// format against many of these servers at once — which is why the
+// request/response types are exported: they are the protocol shared by
+// a node and the router in front of it.
+//
+// The layering is store (placement + memory accounting) → engine
+// (compile cache + evaluation) → serve (wire format) → cluster
+// (multi-process routing).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+	"unicode/utf8"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/semantics"
+	"repro/internal/store"
+	"repro/internal/xpath"
+)
+
+// maxNodesInResponse caps how many node-set members a response renders;
+// the full cardinality is always reported in "count".
+const maxNodesInResponse = 100
+
+// maxStringBytes caps every rendered string value. Element string-
+// values are document-sized in the worst case (the root's string-value
+// is all text in the document), so without this cap a //* query could
+// buffer responses orders of magnitude larger than the document.
+const maxStringBytes = 64 << 10
+
+// DefaultMaxBodyBytes bounds request bodies (documents arrive inline
+// as JSON) so one oversized POST cannot exhaust memory.
+const DefaultMaxBodyBytes = 32 << 20
+
+// DefaultMaxDocuments bounds how many documents the server retains;
+// parsed documents live until replaced, so without a cap repeated
+// small POSTs to /documents would grow memory without limit.
+const DefaultMaxDocuments = 64
+
+// Server routes HTTP requests onto an engine.Engine and the document
+// store: every named document is an engine.Session held in a sharded
+// store.Store, so lookups on different documents never contend on one
+// lock and the corpus is bounded by the store's entry and byte
+// budgets.
+type Server struct {
+	eng     *engine.Engine
+	maxBody int64
+	docs    store.Store[*engine.Session]
+}
+
+// New creates a Server over an engine with a store built from cfg
+// (zero MaxEntries takes DefaultMaxDocuments).
+func New(eng *engine.Engine, cfg store.Config) *Server {
+	if cfg.MaxEntries == 0 {
+		cfg.MaxEntries = DefaultMaxDocuments
+	}
+	return &Server{
+		eng:     eng,
+		maxBody: DefaultMaxBodyBytes,
+		docs:    store.NewSharded[*engine.Session](cfg),
+	}
+}
+
+// SetMaxBody overrides the request body size limit (DefaultMaxBodyBytes).
+func (s *Server) SetMaxBody(n int64) { s.maxBody = n }
+
+// Engine exposes the underlying engine (tests and operators read its
+// cache and in-flight statistics through it).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// StoreStats returns the document store's current statistics.
+func (s *Server) StoreStats() store.Stats { return s.docs.Stats() }
+
+// AddDocument parses xml and registers it under name, replacing any
+// previous document with that name. The document is accounted against
+// the store's byte budget at its serialized size. It returns the node
+// count.
+func (s *Server) AddDocument(name, xml string) (int, error) {
+	d, err := core.ParseString(xml)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.docs.Put(name, s.eng.NewSession(d), int64(len(xml))); err != nil {
+		return 0, err
+	}
+	return d.Len(), nil
+}
+
+// Session returns the session serving a named document.
+func (s *Server) Session(name string) (*engine.Session, bool) {
+	return s.docs.Get(name)
+}
+
+// EvictIdle deletes every document whose session has not been queried
+// for longer than maxIdle, returning the evicted names. The idle check
+// is re-evaluated against the currently stored session under the shard
+// lock (store.Sharded.DeleteIf), so neither a document queried after
+// the scan nor one re-registered after it (a different session under
+// the same name) can be evicted by a stale snapshot. A query that
+// begins in the same instant may still race the eviction, which is
+// acceptable for an idle-trimming policy (the client simply
+// re-registers).
+func (s *Server) EvictIdle(maxIdle time.Duration) []string {
+	var cold []string
+	s.docs.Range(func(name string, sess *engine.Session, _ int64) bool {
+		if sess.IdleFor() > maxIdle {
+			cold = append(cold, name)
+		}
+		return true
+	})
+	type conditionalDeleter interface {
+		DeleteIf(key string, cond func(*engine.Session, int64) bool) bool
+	}
+	cd, _ := s.docs.(conditionalDeleter)
+	var evicted []string
+	for _, name := range cold {
+		stillIdle := func(sess *engine.Session, _ int64) bool {
+			return sess.IdleFor() > maxIdle
+		}
+		ok := false
+		if cd != nil {
+			ok = cd.DeleteIf(name, stillIdle)
+		} else if sess, present := s.docs.Get(name); present && stillIdle(sess, 0) {
+			ok = s.docs.Delete(name)
+		}
+		if ok {
+			evicted = append(evicted, name)
+		}
+	}
+	return evicted
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", s.handleDocuments)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// DocumentRequest registers a document: the body of POST /documents.
+type DocumentRequest struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+}
+
+// QueryRequest evaluates one query: the body of POST /query.
+type QueryRequest struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
+}
+
+// BatchRequest evaluates many queries over one document: the body of
+// POST /batch.
+type BatchRequest struct {
+	Doc     string   `json:"doc"`
+	Queries []string `json:"queries"`
+}
+
+// ValueJSON renders a semantics.Value: "string" always carries the
+// XPath string conversion; the kind-specific field carries the typed
+// value, with node sets truncated to maxNodesInResponse entries.
+type ValueJSON struct {
+	Kind      string     `json:"kind"`
+	String    string     `json:"string"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Number    *float64   `json:"number,omitempty"`
+	Boolean   *bool      `json:"boolean,omitempty"`
+	Count     *int       `json:"count,omitempty"`
+	Nodes     []NodeJSON `json:"nodes,omitempty"`
+}
+
+// NodeJSON is one rendered node-set member.
+type NodeJSON struct {
+	Type      string `json:"type"`
+	Name      string `json:"name,omitempty"`
+	Value     string `json:"value"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// clip bounds s to maxStringBytes without splitting a UTF-8 sequence.
+func clip(s string) (string, bool) {
+	if len(s) <= maxStringBytes {
+		return s, false
+	}
+	cut := maxStringBytes
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut], true
+}
+
+// QueryResponse is the /query response shape (and the per-line payload
+// of /batch).
+type QueryResponse struct {
+	Query    string     `json:"query"`
+	Fragment string     `json:"fragment"`
+	Strategy string     `json:"strategy"`
+	Fallback bool       `json:"fallback,omitempty"`
+	Value    *ValueJSON `json:"value,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// BatchLine is one streamed /batch result: the query's input index plus
+// the same shape /query responds with. Lines are emitted in completion
+// order; consumers reassemble input order from "index".
+type BatchLine struct {
+	Index int `json:"index"`
+	QueryResponse
+}
+
+// DocInfo is one entry of the GET /documents listing. IdleMs is the
+// idle-eviction signal: milliseconds since the document was last
+// queried (see -maxidle).
+type DocInfo struct {
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Bytes  int64  `json:"bytes"`
+	IdleMs int64  `json:"idle_ms"`
+	// XML carries the serialized document only on single-document
+	// fetches (GET /documents?name=); listings omit it.
+	XML string `json:"xml,omitempty"`
+}
+
+// kindName renders a value kind for the JSON API (the xpath package's
+// String() forms are the paper's terse type names).
+func kindName(k xpath.Type) string {
+	switch k {
+	case xpath.TypeNumber:
+		return "number"
+	case xpath.TypeString:
+		return "string"
+	case xpath.TypeBoolean:
+		return "boolean"
+	default:
+		return "node-set"
+	}
+}
+
+func renderValue(d *core.Document, v core.Value) *ValueJSON {
+	out := &ValueJSON{Kind: kindName(v.Kind)}
+	out.String, out.Truncated = clip(semantics.ToString(d, v))
+	switch v.Kind {
+	case xpath.TypeNumber:
+		out.Number = &v.Num
+	case xpath.TypeBoolean:
+		out.Boolean = &v.Bool
+	case xpath.TypeNodeSet:
+		n := len(v.Set)
+		out.Count = &n
+		for i, id := range v.Set {
+			if i == maxNodesInResponse {
+				break
+			}
+			node := d.Node(id)
+			nj := NodeJSON{Type: node.Type.String()}
+			nj.Value, nj.Truncated = clip(d.StringValue(id))
+			if node.Type.HasName() {
+				nj.Name = node.Name
+			}
+			out.Nodes = append(out.Nodes, nj)
+		}
+	}
+	return out
+}
+
+// render turns an evaluation outcome into a response, annotating it
+// with the fragment classification and chosen algorithm straight off
+// the compiled query (no second cache lookup, so /stats counts each
+// served query exactly once). A result rescued by the table-limit
+// fallback reports the strategy that actually produced the value.
+func (s *Server) render(sess *engine.Session, res engine.Result) QueryResponse {
+	resp := QueryResponse{Query: res.Query}
+	if res.Compiled != nil {
+		resp.Fragment = res.Compiled.Fragment().String()
+		resp.Strategy = sess.StrategyFor(res.Compiled).String()
+	}
+	if res.FellBack {
+		resp.Strategy = core.MinContext.String()
+		resp.Fallback = true
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		return resp
+	}
+	resp.Value = renderValue(sess.Document(), res.Value)
+	return resp
+}
+
+// handleDocuments manages the corpus: POST registers, GET lists with
+// idle ages (or fetches one document, serialized XML included, with
+// ?name=), DELETE evicts.
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleDocumentPost(w, r)
+	case http.MethodGet:
+		if name := r.URL.Query().Get("name"); name != "" {
+			s.handleDocumentGet(w, name)
+			return
+		}
+		docs := []DocInfo{}
+		s.docs.Range(func(name string, sess *engine.Session, size int64) bool {
+			docs = append(docs, DocInfo{
+				Name:   name,
+				Nodes:  sess.Document().Len(),
+				Bytes:  size,
+				IdleMs: sess.IdleFor().Milliseconds(),
+			})
+			return true
+		})
+		sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+		WriteJSON(w, http.StatusOK, map[string]any{"documents": docs})
+	case http.MethodDelete:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			HTTPError(w, http.StatusBadRequest, "name is required")
+			return
+		}
+		if !s.docs.Delete(name) {
+			HTTPError(w, http.StatusNotFound, "unknown document %q", name)
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]any{"deleted": name})
+	default:
+		HTTPError(w, http.StatusMethodNotAllowed, "POST a {name, xml} object, GET to list (?name= for one), DELETE ?name= to evict")
+	}
+}
+
+// handleDocumentGet serves one document including its serialized XML —
+// the read half of the remote store protocol (cluster.Remote.Get).
+func (s *Server) handleDocumentGet(w http.ResponseWriter, name string) {
+	sess, ok := s.docs.Get(name)
+	if !ok {
+		HTTPError(w, http.StatusNotFound, "unknown document %q", name)
+		return
+	}
+	xml := sess.Document().XMLString()
+	WriteJSON(w, http.StatusOK, DocInfo{
+		Name:   name,
+		Nodes:  sess.Document().Len(),
+		Bytes:  int64(len(xml)),
+		IdleMs: sess.IdleFor().Milliseconds(),
+		XML:    xml,
+	})
+}
+
+func (s *Server) handleDocumentPost(w http.ResponseWriter, r *http.Request) {
+	var req DocumentRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.XML == "" {
+		HTTPError(w, http.StatusBadRequest, "both name and xml are required")
+		return
+	}
+	n, err := s.AddDocument(req.Name, req.XML)
+	switch {
+	case errors.Is(err, store.ErrFull):
+		HTTPError(w, http.StatusInsufficientStorage, "document store full: %v; delete or replace a document, or raise -max-docs/-maxbytes", err)
+		return
+	case errors.Is(err, store.ErrTooLarge):
+		HTTPError(w, http.StatusRequestEntityTooLarge, "document %s exceeds the per-shard byte budget: %v", req.Name, err)
+		return
+	case err != nil:
+		HTTPError(w, http.StatusBadRequest, "parse %s: %v", req.Name, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]any{"name": req.Name, "nodes": n})
+}
+
+// handleQuery accepts POST {doc, query} or GET ?doc=...&q=... (the
+// curl-friendly form). Evaluation is tied to the request context: a
+// client that disconnects stops its query at the next checkpoint.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Doc = r.URL.Query().Get("doc")
+		req.Query = r.URL.Query().Get("q")
+	case http.MethodPost:
+		if !DecodeJSON(w, r, &req) {
+			return
+		}
+	default:
+		HTTPError(w, http.StatusMethodNotAllowed, "GET ?doc=&q= or POST {doc, query}")
+		return
+	}
+	if req.Doc == "" || req.Query == "" {
+		HTTPError(w, http.StatusBadRequest, "both doc and query are required")
+		return
+	}
+	sess, ok := s.Session(req.Doc)
+	if !ok {
+		HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
+		return
+	}
+	resp := s.render(sess, sess.DoContext(r.Context(), req.Query))
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusUnprocessableEntity
+	}
+	WriteJSON(w, status, resp)
+}
+
+// handleBatch streams per-query results as chunked JSON lines
+// (application/x-ndjson): each line carries the query's input index
+// and is written the moment its worker finishes, so the first results
+// are on the wire while later queries are still evaluating. The batch
+// is wired to the request context end to end — when the client
+// disconnects, queued queries are never dispatched and in-flight
+// evaluations stop at their next cancellation checkpoint.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		HTTPError(w, http.StatusMethodNotAllowed, "POST a {doc, queries} object")
+		return
+	}
+	var req BatchRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Doc == "" {
+		HTTPError(w, http.StatusBadRequest, "doc is required")
+		return
+	}
+	sess, ok := s.Session(req.Doc)
+	if !ok {
+		HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	sess.StreamBatch(ctx, req.Queries, func(i int, res engine.Result) {
+		if ctx.Err() != nil {
+			return // client is gone; drop the line, workers are winding down
+		}
+		enc.Encode(BatchLine{Index: i, QueryResponse: s.render(sess, res)})
+		if fl != nil {
+			fl.Flush()
+		}
+	})
+}
+
+// handleHealthz is the liveness probe the cluster router polls: cheap,
+// allocation-light, and always 200 while the process serves.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		HTTPError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"documents": s.docs.Stats().Entries,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		HTTPError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.eng.Stats()
+	docs := map[string]int{}
+	s.docs.Range(func(name string, sess *engine.Session, _ int64) bool {
+		docs[name] = sess.Document().Len()
+		return true
+	})
+	WriteJSON(w, http.StatusOK, map[string]any{
+		"cache": map[string]any{
+			"hits":               st.Hits,
+			"misses":             st.Misses,
+			"evictions":          st.Evictions,
+			"size":               st.Size,
+			"capacity":           st.Capacity,
+			"hit_rate":           st.HitRate(),
+			"compile_ns_saved":   st.CompileNanosSaved,
+			"compile_time_saved": (time.Duration(st.CompileNanosSaved)).String(),
+		},
+		"in_flight": st.InFlight,
+		"fallbacks": st.Fallbacks,
+		"strategy":  s.eng.Strategy().String(),
+		"documents": docs,
+		"store":     s.docs.Stats(),
+	})
+}
+
+// DecodeJSON parses a request body into dst, writing the error
+// response itself on failure: 413 when the body tripped the size
+// limit, 400 for malformed JSON. Exported because the cluster router
+// speaks this package's wire format and must fail identically.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	err := json.NewDecoder(r.Body).Decode(dst)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		HTTPError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return false
+	}
+	HTTPError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	return false
+}
+
+// WriteJSON writes v as an indented JSON response with the given
+// status — the one response writer shared by every endpoint (and the
+// cluster router), so the wire format cannot drift between them.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// HTTPError writes the protocol's {"error": ...} failure shape.
+func HTTPError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// DocNames returns the registered document names, sorted (for logs).
+func (s *Server) DocNames() []string {
+	var names []string
+	s.docs.Range(func(name string, _ *engine.Session, _ int64) bool {
+		names = append(names, name)
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

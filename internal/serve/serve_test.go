@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -20,13 +20,13 @@ import (
 	"repro/internal/workload"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
+func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(engine.New(engine.Options{CacheSize: 64, Workers: 4}), store.Config{})
-	if _, err := srv.addDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
+	srv := New(engine.New(engine.Options{CacheSize: 64, Workers: 4}), store.Config{})
+	if _, err := srv.AddDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
@@ -111,7 +111,7 @@ func TestQueryErrors(t *testing.T) {
 
 func TestDocumentsEndpoint(t *testing.T) {
 	_, ts := testServer(t)
-	resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: "mini", XML: "<a><b/><b/></a>"})
+	resp, out := postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "mini", XML: "<a><b/><b/></a>"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
 	}
@@ -119,7 +119,7 @@ func TestDocumentsEndpoint(t *testing.T) {
 	if val := out["value"].(map[string]any); val["number"] != 2.0 {
 		t.Fatalf("count(//b) = %v, want 2", val["number"])
 	}
-	resp, _ = postJSON(t, ts.URL+"/documents", documentRequest{Name: "bad", XML: "<a>"})
+	resp, _ = postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "bad", XML: "<a>"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed XML status = %d, want 400", resp.StatusCode)
 	}
@@ -171,7 +171,7 @@ func readBatchLines(t *testing.T, resp *http.Response) []map[string]any {
 func TestBatchEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 	queries := []string{"count(//product)", "//[", "sum(//price) > 0"}
-	buf, _ := json.Marshal(batchRequest{Doc: "catalog", Queries: queries})
+	buf, _ := json.Marshal(BatchRequest{Doc: "catalog", Queries: queries})
 	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
 	if err != nil {
 		t.Fatal(err)
@@ -228,16 +228,16 @@ func slowBatchDoc() string {
 // i.e. /batch no longer buffers the whole batch. It then disconnects
 // the client and verifies the in-flight evaluation is cancelled.
 func TestBatchStreamsBeforeCompletion(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{CacheSize: 16, Workers: 2}), store.Config{})
-	if _, err := srv.addDocument("big", slowBatchDoc()); err != nil {
+	srv := New(engine.New(engine.Options{CacheSize: 16, Workers: 2}), store.Config{})
+	if _, err := srv.AddDocument("big", slowBatchDoc()); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
 	// Slow query first: the unbuffered dispatch channel guarantees a
 	// worker has accepted it before the fast query is even handed out.
-	buf, _ := json.Marshal(batchRequest{Doc: "big", Queries: []string{slowBatchQuery, "1 = 1"}})
+	buf, _ := json.Marshal(BatchRequest{Doc: "big", Queries: []string{slowBatchQuery, "1 = 1"}})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/batch", bytes.NewReader(buf))
@@ -327,15 +327,15 @@ func TestStatsEndpoint(t *testing.T) {
 // and the response must carry the MinContext-rescued value instead of
 // an error, flagged as a fallback, with /stats counting it.
 func TestFallbackOverHTTP(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{
+	srv := New(engine.New(engine.Options{
 		Strategy: core.BottomUp, MaxTableRows: 8, Fallback: true,
 	}), store.Config{})
-	if _, err := srv.addDocument("catalog", workload.Catalog(30).XMLString()); err != nil {
+	if _, err := srv.AddDocument("catalog", workload.Catalog(30).XMLString()); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	resp, out := postJSON(t, ts.URL+"/query", queryRequest{Doc: "catalog", Query: "count(//product[position() = last()])"})
+	resp, out := postJSON(t, ts.URL+"/query", QueryRequest{Doc: "catalog", Query: "count(//product[position() = last()])"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, body %v (fallback did not rescue)", resp.StatusCode, out)
 	}
@@ -355,9 +355,9 @@ func TestFallbackOverHTTP(t *testing.T) {
 // routes exclusively through the sharded store: a population of
 // documents must land on every configured shard.
 func TestDocumentShardSpread(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}), store.Config{Shards: 4, MaxEntries: 64})
+	srv := New(engine.New(engine.Options{}), store.Config{Shards: 4, MaxEntries: 64})
 	for i := 0; i < 32; i++ {
-		if _, err := srv.addDocument(fmt.Sprintf("doc-%d", i), "<a><b/></a>"); err != nil {
+		if _, err := srv.AddDocument(fmt.Sprintf("doc-%d", i), "<a><b/></a>"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -376,16 +376,16 @@ func TestDocumentShardSpread(t *testing.T) {
 }
 
 func TestBodySizeLimit(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}), store.Config{})
+	srv := New(engine.New(engine.Options{}), store.Config{})
 	srv.maxBody = 256
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	big := documentRequest{Name: "big", XML: "<a>" + strings.Repeat("x", 4096) + "</a>"}
+	big := DocumentRequest{Name: "big", XML: "<a>" + strings.Repeat("x", 4096) + "</a>"}
 	resp, out := postJSON(t, ts.URL+"/documents", big)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body status = %d, body %v, want 413", resp.StatusCode, out)
 	}
-	if _, err := srv.addDocument("small", "<a><b/></a>"); err != nil {
+	if _, err := srv.AddDocument("small", "<a><b/></a>"); err != nil {
 		t.Fatal(err)
 	}
 	if resp, _ := getJSON(t, ts.URL+"/query?doc=small&q=count(//b)"); resp.StatusCode != http.StatusOK {
@@ -396,19 +396,19 @@ func TestBodySizeLimit(t *testing.T) {
 // TestDocumentLimit checks the retained-document cap: new names past
 // the cap are rejected with 507, replacements always go through.
 func TestDocumentLimit(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}), store.Config{MaxEntries: 2})
-	ts := httptest.NewServer(srv.handler())
+	srv := New(engine.New(engine.Options{}), store.Config{MaxEntries: 2})
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	for _, name := range []string{"one", "two"} {
-		if resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: name, XML: "<a/>"}); resp.StatusCode != http.StatusOK {
+		if resp, out := postJSON(t, ts.URL+"/documents", DocumentRequest{Name: name, XML: "<a/>"}); resp.StatusCode != http.StatusOK {
 			t.Fatalf("register %s: %d %v", name, resp.StatusCode, out)
 		}
 	}
-	resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: "three", XML: "<a/>"})
+	resp, out := postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "three", XML: "<a/>"})
 	if resp.StatusCode != http.StatusInsufficientStorage {
 		t.Fatalf("over-cap status = %d, body %v, want 507", resp.StatusCode, out)
 	}
-	if resp, out := postJSON(t, ts.URL+"/documents", documentRequest{Name: "two", XML: "<a><b/></a>"}); resp.StatusCode != http.StatusOK {
+	if resp, out := postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "two", XML: "<a><b/></a>"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("replacement at cap: %d %v", resp.StatusCode, out)
 	}
 }
@@ -416,12 +416,12 @@ func TestDocumentLimit(t *testing.T) {
 // TestResponseTruncation checks that huge string values are clipped in
 // responses (flagged via "truncated") rather than buffered whole.
 func TestResponseTruncation(t *testing.T) {
-	srv := newServer(engine.New(engine.Options{}), store.Config{})
+	srv := New(engine.New(engine.Options{}), store.Config{})
 	text := strings.Repeat("é", 40<<10) // 80KB of 2-byte runes > maxStringBytes
-	if _, err := srv.addDocument("big", "<a><b>"+text+"</b></a>"); err != nil {
+	if _, err := srv.AddDocument("big", "<a><b>"+text+"</b></a>"); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	_, out := getJSON(t, ts.URL+"/query?doc=big&q=//b")
 	val := out["value"].(map[string]any)
@@ -453,7 +453,7 @@ func TestServerConcurrentTraffic(t *testing.T) {
 						return
 					}
 				case 1:
-					buf, _ := json.Marshal(batchRequest{
+					buf, _ := json.Marshal(BatchRequest{
 						Doc:     "catalog",
 						Queries: []string{"count(//product)", "sum(//price)"},
 					})
@@ -465,7 +465,7 @@ func TestServerConcurrentTraffic(t *testing.T) {
 					readBatchLines(t, resp)
 					resp.Body.Close()
 				default:
-					postJSON(t, ts.URL+"/documents", documentRequest{
+					postJSON(t, ts.URL+"/documents", DocumentRequest{
 						Name: "catalog", XML: workload.Catalog(12).XMLString(),
 					})
 				}
@@ -475,5 +475,99 @@ func TestServerConcurrentTraffic(t *testing.T) {
 	wg.Wait()
 	if st := srv.eng.Stats(); st.InFlight != 0 {
 		t.Fatalf("in-flight leaked: %+v", st)
+	}
+}
+
+// TestDocumentGetSingle pins down the single-document fetch that the
+// cluster remote store reads through: GET /documents?name= returns the
+// serialized XML, and re-registering that XML yields an equivalent
+// document.
+func TestDocumentGetSingle(t *testing.T) {
+	srv, ts := testServer(t)
+	resp, out := getJSON(t, ts.URL+"/documents?name=catalog")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	xml, _ := out["xml"].(string)
+	if xml == "" {
+		t.Fatalf("single-document fetch carried no xml: %v", out)
+	}
+	if out["name"] != "catalog" {
+		t.Fatalf("name = %v, want catalog", out["name"])
+	}
+	if _, ok := out["idle_ms"]; !ok {
+		t.Fatalf("single-document fetch missing idle_ms: %v", out)
+	}
+	// The serialized form must round-trip to a document with the same
+	// node count the server reports.
+	n, err := srv.AddDocument("copy", xml)
+	if err != nil {
+		t.Fatalf("re-registering served xml: %v", err)
+	}
+	if want := int(out["nodes"].(float64)); n != want {
+		t.Fatalf("round-tripped document has %d nodes, want %d", n, want)
+	}
+	resp, _ = getJSON(t, ts.URL+"/documents?name=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown name status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthz pins down the router's liveness probe.
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || out["ok"] != true {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, out)
+	}
+	if out["documents"].(float64) != 1 {
+		t.Fatalf("healthz documents = %v, want 1", out["documents"])
+	}
+}
+
+// TestDocumentListIdle checks that GET /documents surfaces the idle
+// signal and that querying a document resets it.
+func TestDocumentListIdle(t *testing.T) {
+	_, ts := testServer(t)
+	time.Sleep(30 * time.Millisecond)
+	getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)")
+	_, out := getJSON(t, ts.URL+"/documents")
+	docs := out["documents"].([]any)
+	if len(docs) != 1 {
+		t.Fatalf("listed %d documents, want 1", len(docs))
+	}
+	entry := docs[0].(map[string]any)
+	idle, ok := entry["idle_ms"].(float64)
+	if !ok {
+		t.Fatalf("listing missing idle_ms: %v", entry)
+	}
+	if idle > 25 {
+		t.Fatalf("idle_ms = %v right after a query, want < 25", idle)
+	}
+}
+
+// TestEvictIdle drives the -maxidle policy: documents older than the
+// window go, recently queried ones stay, and a queried-again document
+// is spared on the next sweep.
+func TestEvictIdle(t *testing.T) {
+	srv, ts := testServer(t)
+	if _, err := srv.AddDocument("cold", "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	// Touch only catalog; cold has been idle since registration.
+	getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)")
+	evicted := srv.EvictIdle(30 * time.Millisecond)
+	if len(evicted) != 1 || evicted[0] != "cold" {
+		t.Fatalf("EvictIdle = %v, want [cold]", evicted)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/query?doc=cold&q=count(//b)"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted document still served: %d", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh document was evicted: %d", resp.StatusCode)
+	}
+	if evicted := srv.EvictIdle(time.Hour); evicted != nil {
+		t.Fatalf("EvictIdle(1h) evicted %v, want nothing", evicted)
 	}
 }

@@ -76,13 +76,23 @@ func NewSharded[V any](cfg Config) *Sharded[V] {
 	return s
 }
 
-// ShardFor returns the shard index key routes to; tests use it to
-// assert the distribution, and a future multi-process deployment can
-// reuse it as the partitioning function.
-func (s *Sharded[V]) ShardFor(key string) int {
+// KeyShard returns the bucket in [0, n) that key routes to under the
+// store's FNV-1a partitioning. It is the one routing function shared by
+// every placement layer: Sharded uses it to pick an in-process shard,
+// and the cluster router (internal/cluster) uses it to pick the peer
+// node that owns a document, so a document's shard within one process
+// and its owning node across processes are computed identically.
+func KeyShard(key string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ShardFor returns the shard index key routes to; tests use it to
+// assert the distribution, and the cluster router reuses the same
+// KeyShard function to partition documents across peer nodes.
+func (s *Sharded[V]) ShardFor(key string) int {
+	return KeyShard(key, len(s.shards))
 }
 
 // Get returns the value stored under key, refreshing its recency.
@@ -179,6 +189,15 @@ func (s *Sharded[V]) evictLocked(sh *shard[V], keep *list.Element, target int64)
 
 // Delete removes key, reporting whether it was present.
 func (s *Sharded[V]) Delete(key string) bool {
+	return s.DeleteIf(key, nil)
+}
+
+// DeleteIf removes key only while cond holds for the currently stored
+// value, evaluated under the shard lock — so a caller that snapshotted
+// an entry (e.g. the idle janitor) cannot delete a replacement that
+// was stored after its snapshot. A nil cond always deletes. It reports
+// whether an entry was removed.
+func (s *Sharded[V]) DeleteIf(key string, cond func(v V, size int64) bool) bool {
 	sh := &s.shards[s.ShardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -187,6 +206,9 @@ func (s *Sharded[V]) Delete(key string) bool {
 		return false
 	}
 	e := el.Value.(*shardEntry[V])
+	if cond != nil && !cond(e.val, e.size) {
+		return false
+	}
 	sh.lru.Remove(el)
 	delete(sh.items, key)
 	sh.bytes -= e.size

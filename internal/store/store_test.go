@@ -163,6 +163,137 @@ func TestRange(t *testing.T) {
 	}
 }
 
+// TestDeleteIf pins the conditional delete the idle janitor relies on:
+// the condition sees the currently stored value under the shard lock,
+// so a stale snapshot cannot delete a replacement entry.
+func TestDeleteIf(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 2})
+	if err := s.Put("k", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.DeleteIf("k", func(v int, size int64) bool { return v == 2 }) {
+		t.Fatal("DeleteIf removed an entry its condition rejected")
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("entry vanished after a refused DeleteIf")
+	}
+	if !s.DeleteIf("k", func(v int, size int64) bool { return v == 1 && size == 10 }) {
+		t.Fatal("DeleteIf refused a matching entry")
+	}
+	if s.DeleteIf("k", nil) {
+		t.Fatal("DeleteIf on a missing key reported a removal")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", s.Len())
+	}
+}
+
+// TestKeyShardMatchesShardFor pins down that the exported partitioning
+// function and the store's own routing agree — the cluster router
+// depends on computing the same placement without holding a store.
+func TestKeyShardMatchesShardFor(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 5})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if got, want := KeyShard(key, 5), s.ShardFor(key); got != want {
+			t.Fatalf("KeyShard(%q, 5) = %d, ShardFor = %d", key, got, want)
+		}
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		if k := KeyShard("anything", n); k < 0 || k >= n {
+			t.Fatalf("KeyShard(_, %d) = %d out of range", n, k)
+		}
+	}
+}
+
+// TestRangeOrderWithinShard pins down the snapshot order Range promises
+// per shard: most recently used first (the LRU list front), with Get
+// refreshing recency.
+func TestRangeOrderWithinShard(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 1})
+	for i, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get("a") // now a is MRU; order front→back is a, c, b
+	var order []string
+	s.Range(func(k string, _ int, _ int64) bool {
+		order = append(order, k)
+		return true
+	})
+	if fmt.Sprint(order) != "[a c b]" {
+		t.Fatalf("Range order = %v, want [a c b] (MRU first)", order)
+	}
+}
+
+// TestRangeUnderConcurrentMutation races Range passes against Put and
+// Delete churn (run under -race). Each pass must be internally
+// consistent: no key visited twice, every stable (never-mutated) key
+// present exactly once with its original value and size, and no
+// torn entries (value/size must match what some Put stored).
+func TestRangeUnderConcurrentMutation(t *testing.T) {
+	s := NewSharded[int](Config{Shards: 4})
+	stable := map[string]int{}
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("stable-%d", i)
+		stable[k] = i
+		if err := s.Put(k, i, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("hot-%d", (g*5+i)%24)
+				if i%3 == 0 {
+					s.Delete(k)
+				} else {
+					// Value and size move together; a torn read
+					// would surface as a mismatched pair below.
+					s.Put(k, i, int64(i))
+				}
+			}
+		}(g)
+	}
+	for pass := 0; pass < 300; pass++ {
+		seen := map[string]bool{}
+		s.Range(func(k string, v int, size int64) bool {
+			if seen[k] {
+				t.Errorf("pass %d: key %q visited twice in one Range", pass, k)
+			}
+			seen[k] = true
+			if want, ok := stable[k]; ok {
+				if v != want || size != int64(want+1) {
+					t.Errorf("stable key %q = (%d, %d), want (%d, %d)", k, v, size, want, want+1)
+				}
+			} else if size != int64(v) {
+				t.Errorf("torn entry %q: value %d but size %d", k, v, size)
+			}
+			return true
+		})
+		for k := range stable {
+			if !seen[k] {
+				t.Errorf("pass %d: stable key %q missing from Range", pass, k)
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestConcurrentAccess hammers one store from many goroutines under
 // -race: puts, gets, deletes and stats on overlapping keys.
 func TestConcurrentAccess(t *testing.T) {

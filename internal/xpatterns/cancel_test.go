@@ -1,0 +1,61 @@
+package xpatterns
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/semantics"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// TestEvaluateContextCancelsPromptly cancels mid-evaluation of a long
+// chain of O(|D|) axis applications (a legitimate XPatterns query —
+// the fragment subsumes Core XPath paths) and asserts the evaluator
+// returns context.Canceled within the checkpoint latency instead of
+// finishing the multi-second run. Run under -race in CI.
+func TestEvaluateContextCancelsPromptly(t *testing.T) {
+	d := workload.Doc(30000)
+	q := "//*" + strings.Repeat("/following::*/preceding::*", 200)
+	e := xpath.MustParse(q)
+	if !InFragment(e) {
+		t.Fatal("chain query left the XPatterns fragment")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(d).EvaluateContext(ctx, e, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the step chain get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("evaluation did not return promptly after cancellation")
+	}
+}
+
+// TestEvaluateContextUncancelled pins down that a context that is never
+// cancelled changes nothing about the result, including through the
+// id-axis and "=s" machinery unique to this fragment.
+func TestEvaluateContextUncancelled(t *testing.T) {
+	d := workload.DocPrime(8)
+	e := xpath.MustParse("//b[. = 'c']")
+	if !InFragment(e) {
+		t.Fatal("query left the XPatterns fragment")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	v, err := New(d).EvaluateContext(ctx, e, semantics.Context{Node: d.RootID(), Pos: 1, Size: 1})
+	if err != nil || len(v.Set) != 8 {
+		t.Fatalf("got %d nodes, %v; want 8, nil", len(v.Set), err)
+	}
+}

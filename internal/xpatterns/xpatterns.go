@@ -19,6 +19,7 @@
 package xpatterns
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/axes"
@@ -34,6 +35,11 @@ type Evaluator struct {
 
 	// strvalSets caches {y | strval(y) = s} per constant.
 	strvalSets map[string]xmltree.NodeSet
+
+	// cancel is the throttled cancellation checkpoint billed once per
+	// O(|D|) set operation or document scan; nil (the Evaluate path)
+	// never fires.
+	cancel *evalutil.Canceller
 }
 
 // New returns an XPatterns evaluator for the document.
@@ -128,11 +134,25 @@ func isEqS(pathSide, constSide xpath.Expr) bool {
 
 // Evaluate computes the query for a single context node.
 func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	return ev.EvaluateContext(context.Background(), e, c)
+}
+
+// EvaluateContext is Evaluate with cancellation: every O(|D|) set
+// operation and document scan bills a throttled checkpoint, so the
+// evaluation is abandoned with ctx's error promptly once ctx is done.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
+	ev.cancel = evalutil.NewCanceller(ctx)
 	s, err := ev.EvaluateSet(e, xmltree.NodeSet{c.Node})
 	if err != nil {
 		return semantics.Value{}, err
 	}
 	return semantics.NodeSet(s), nil
+}
+
+// checkpoint bills one whole-document operation against the
+// cancellation checkpoint.
+func (ev *Evaluator) checkpoint() error {
+	return ev.cancel.CheckN(ev.doc.Len())
 }
 
 // EvaluateSet computes the forward semantics S→ extended with the id
@@ -166,6 +186,9 @@ func (ev *Evaluator) EvaluateSet(e xpath.Expr, n0 xmltree.NodeSet) (xmltree.Node
 			cur = xmltree.NodeSet{ev.doc.RootID()}
 		}
 		for _, step := range x.Steps {
+			if err := ev.checkpoint(); err != nil {
+				return nil, err
+			}
 			cur = evalutil.StepCandidatesSet(ev.doc, step.Axis, step.Test, cur)
 			for _, p := range step.Preds {
 				e1, err := ev.e1(p)
@@ -217,6 +240,9 @@ func (ev *Evaluator) dom() xmltree.NodeSet {
 
 // e1 computes the extension of an XPatterns predicate.
 func (ev *Evaluator) e1(e xpath.Expr) (xmltree.NodeSet, error) {
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
+	}
 	switch x := e.(type) {
 	case *xpath.Binary:
 		switch x.Op {
@@ -329,6 +355,9 @@ func (ev *Evaluator) sBack(p *xpath.Path, target xmltree.NodeSet) (xmltree.NodeS
 		cur = ev.dom()
 	}
 	for i := len(p.Steps) - 1; i >= 0; i-- {
+		if err := ev.checkpoint(); err != nil {
+			return nil, err
+		}
 		step := p.Steps[i]
 		s := evalutil.FilterTest(ev.doc, step.Axis, step.Test, cur)
 		for _, pr := range step.Preds {
