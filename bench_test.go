@@ -21,6 +21,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/axes"
 	"repro/internal/bottomup"
 	"repro/internal/core"
 	"repro/internal/corexpath"
@@ -299,8 +300,8 @@ func BenchmarkFragmentsWadler(b *testing.B) {
 	}
 }
 
-// BenchmarkAxes measures the primitive-relation axis evaluator
-// (Algorithm 3.2) in isolation.
+// BenchmarkAxes measures the axis evaluator through the Core XPath
+// algebra (whole queries including parsing-independent evaluation).
 func BenchmarkAxes(b *testing.B) {
 	d := workload.Catalog(2000)
 	for _, q := range []string{"//*", "//*/following::*", "//*/ancestor::*"} {
@@ -308,6 +309,80 @@ func BenchmarkAxes(b *testing.B) {
 			benchQuery(b, corexpath.New(d), d, q)
 		})
 	}
+}
+
+// BenchmarkAxesEval measures axes.EvalInto in isolation in its
+// steady state: a caller-reused output buffer plus the per-document
+// scratch pool mean zero heap allocations per evaluation.
+func BenchmarkAxesEval(b *testing.B) {
+	d := workload.Catalog(2000)
+	ctxSet := d.Index().Named("product")
+	cases := []struct {
+		name string
+		axis axes.Axis
+	}{
+		{"descendant", axes.Descendant},
+		{"descendant-or-self", axes.DescendantOrSelf},
+		{"ancestor", axes.Ancestor},
+		{"following", axes.Following},
+		{"preceding", axes.Preceding},
+		{"child", axes.Child},
+		{"following-sibling", axes.FollowingSibling},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var buf xmltree.NodeSet
+			buf = axes.EvalInto(d, c.axis, ctxSet, buf) // warm the buffer and scratch pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = axes.EvalInto(d, c.axis, ctxSet, buf)
+			}
+		})
+	}
+}
+
+// BenchmarkAxesEvalNamed measures the label-index fast path: the axis
+// image restricted to one element name, served from the posting list.
+func BenchmarkAxesEvalNamed(b *testing.B) {
+	d := workload.Catalog(2000)
+	root := xmltree.NodeSet{d.RootID()}
+	b.Run("descendant::product", func(b *testing.B) {
+		var buf xmltree.NodeSet
+		buf = axes.EvalNamedInto(d, axes.Descendant, root, "product", buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = axes.EvalNamedInto(d, axes.Descendant, root, "product", buf)
+		}
+	})
+}
+
+// BenchmarkBitset measures the packed set operations the Core XPath
+// algebra is built on.
+func BenchmarkBitset(b *testing.B) {
+	const n = 1 << 16
+	x, y := xmltree.NewBitset(n), xmltree.NewBitset(n)
+	for i := 0; i < n; i += 3 {
+		x.Add(xmltree.NodeID(i))
+	}
+	for i := 0; i < n; i += 7 {
+		y.Add(xmltree.NodeID(i))
+	}
+	b.Run("union", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x.UnionWith(y)
+		}
+	})
+	b.Run("count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if x.Count() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
 }
 
 // --- Serving layer: compiled-query cache and batch worker pool ---

@@ -6,24 +6,41 @@
 //	xpathbench -exp all                 # everything (several minutes)
 //	xpathbench -exp exp1                # Figure 2 left
 //	xpathbench -exp table7 -cap 5s      # Table VII with a 5s point cap
+//	xpathbench -exp exp4 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: exp1, exp2, exp3, exp4, exp5a, exp5b, table5 (also covers
 // Figure 12), table7, ablate.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// measured experiments, so performance PRs can attach `go tool pprof`
+// evidence for where the time and allocations go.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds every deferred profile finalizer, so any exit path — bad
+// flags included — still stops the CPU profile and closes its file
+// (os.Exit in main would skip defers and truncate the profile). The
+// named return lets the deferred heap-profile writer report failure.
+func run() (exitCode int) {
 	exp := flag.String("exp", "all", "experiment to run: exp1|exp2|exp3|exp4|exp5a|exp5b|table5|table7|ablate|all")
 	cap := flag.Duration("cap", 2*time.Second, "wall-clock cap per measured point")
 	scale := flag.Float64("scale", 1, "document-size scale factor for exp4 (1 = paper-sized)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
 	flag.Parse()
 
 	cfg := bench.Config{Cap: *cap, Scale: *scale, Out: os.Stdout}
@@ -39,16 +56,50 @@ func main() {
 		"ablate": func() { bench.Ablation(cfg) },
 	}
 	order := []string{"exp1", "exp2", "exp3", "exp4", "exp5a", "exp5b", "table5", "table7", "ablate"}
+	var todo []func()
 	if *exp == "all" {
 		for _, name := range order {
-			runners[name]()
+			todo = append(todo, runners[name])
 		}
-		return
-	}
-	run, ok := runners[*exp]
-	if !ok {
+	} else if r, ok := runners[*exp]; ok {
+		todo = append(todo, r)
+	} else {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *exp, order)
-		os.Exit(2)
+		return 2
 	}
-	run()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xpathbench: start cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xpathbench: %v\n", err)
+				exitCode = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xpathbench: write heap profile: %v\n", err)
+				exitCode = 1
+			}
+		}()
+	}
+
+	for _, r := range todo {
+		r()
+	}
+	return exitCode
 }

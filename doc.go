@@ -9,6 +9,15 @@
 //
 //   - internal/xmltree, internal/xpath, internal/semantics — the data
 //     model, parser and effective semantics shared by every engine.
+//     xmltree doubles as the performance layer under the evaluation
+//     core: packed []uint64 bitsets (word-parallel set algebra), and a
+//     lazily built, cached per-document structural index (subtree
+//     intervals from the preorder arena, a label→NodeSet name index,
+//     and a pooled evaluator-scratch allocator). internal/axes
+//     evaluates the recursive axes as O(output) interval arithmetic
+//     over that index — allocation-free in steady state — instead of
+//     the worklist closures of Algorithm 3.2, which survive as the
+//     executable specification in the axes property tests.
 //   - internal/naive … internal/xpatterns — one package per algorithm
 //     of the paper (naive, datapool, bottomup, topdown, mincontext,
 //     optmincontext/wadler, corexpath, xpatterns).

@@ -366,6 +366,7 @@ func (ev *Evaluator) pathTable(p *xpath.Path) (*table, error) {
 			cur[x] = xmltree.NodeSet{x}
 		}
 	}
+	acc := xmltree.NewAccumulator(ev.doc.Len())
 	for _, step := range p.Steps {
 		rel, err := ev.stepRelation(step)
 		if err != nil {
@@ -377,8 +378,15 @@ func (ev *Evaluator) pathTable(p *xpath.Path) (*table, error) {
 				return nil, err
 			}
 			var u xmltree.NodeSet
-			for _, y := range ys {
-				u = u.Union(rel[y])
+			if len(ys) == 1 {
+				// Values are treated as immutable, so aliasing the step
+				// relation's row is safe and skips the copy.
+				u = rel[ys[0]]
+			} else if len(ys) > 1 {
+				for _, y := range ys {
+					acc.Add(rel[y])
+				}
+				u = acc.Result()
 			}
 			next[x] = u
 		}

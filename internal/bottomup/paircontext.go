@@ -150,6 +150,7 @@ func (ev *PairEvaluator) pathRelation(p *xpath.Path) (map[xmltree.NodeID]xmltree
 			cur[xmltree.NodeID(i)] = xmltree.NodeSet{ev.doc.RootID()}
 		}
 	}
+	acc := xmltree.NewAccumulator(ev.doc.Len())
 	for _, step := range p.Steps {
 		rel, err := ev.stepRelation(step)
 		if err != nil {
@@ -158,8 +159,13 @@ func (ev *PairEvaluator) pathRelation(p *xpath.Path) (map[xmltree.NodeID]xmltree
 		next := make(map[xmltree.NodeID]xmltree.NodeSet, len(cur))
 		for x0, ys := range cur {
 			var u xmltree.NodeSet
-			for _, y := range ys {
-				u = u.Union(rel[y])
+			if len(ys) == 1 {
+				u = rel[ys[0]]
+			} else if len(ys) > 1 {
+				for _, y := range ys {
+					acc.Add(rel[y])
+				}
+				u = acc.Result()
 			}
 			next[x0] = u
 		}

@@ -289,7 +289,10 @@ func TestBatchStreamsAcrossNodesBeforeCompletion(t *testing.T) {
 func TestBatchCancelMidStream(t *testing.T) {
 	_, ts, backends := newCluster(t, 2, Options{}, store.Config{})
 	owned := namesOwnedBy(2, 1)
-	big := workload.Doc(10000).XMLString()
+	// Big enough that the O(|D|²) tabulation runs for many seconds even
+	// on the indexed axis evaluator, keeping the in-flight window
+	// observable; cancellation cuts the test short well before that.
+	big := workload.Doc(30000).XMLString()
 	for i, names := range owned {
 		if _, err := backends[i].srv.AddDocument(names[0], big); err != nil {
 			t.Fatal(err)

@@ -40,6 +40,7 @@ var coreQueries = []string{
 	"//@x/parent::*",
 	"//*[child::text()]",
 	"self::node()/descendant::c",
+	"//*[/]", // zero-step absolute predicate path: dom_root(dom)
 }
 
 func TestFragmentClassifier(t *testing.T) {
@@ -147,8 +148,8 @@ func TestSBackEquivalence(t *testing.T) {
 				want = append(want, x)
 			}
 		}
-		if !got.Equal(want) {
-			t.Errorf("S←[[%s]] = %v, want %v", q, got, want)
+		if !got.ToNodeSet().Equal(want) {
+			t.Errorf("S←[[%s]] = %v, want %v", q, got.ToNodeSet(), want)
 		}
 	}
 }

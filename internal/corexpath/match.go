@@ -17,7 +17,11 @@ func (ev *Evaluator) MatchSet(e xpath.Expr) (xmltree.NodeSet, error) {
 	if !InFragment(e) {
 		return nil, fmt.Errorf("corexpath: pattern %s not in the Core XPath fragment", e)
 	}
-	return ev.EvaluateSet(e, ev.dom())
+	dom := make(xmltree.NodeSet, ev.doc.Len())
+	for i := range dom {
+		dom[i] = xmltree.NodeID(i)
+	}
+	return ev.EvaluateSet(e, dom)
 }
 
 // Matches reports whether one node matches the pattern. For repeated

@@ -15,18 +15,37 @@ import (
 	"repro/internal/xpath"
 )
 
-// ctxKey identifies a context. Location paths only depend on the context
-// node (Section 9.2 stores ⟨π, ⟨x, cp, cs⟩, v⟩ for all cp, cs); keying
-// paths by node alone realizes that collapsed storage.
+// ctxKey identifies a context for position/size-dependent expressions.
 type ctxKey struct {
 	node      xmltree.NodeID
 	pos, size int
 }
 
+// exprTable stores the pooled values of one expression, projected onto
+// the relevant context columns (the Section 9.2 refinement for location
+// paths, generalized through Relev, Section 8.2):
+//
+//   - no relevant columns: one value (cval);
+//   - node-only (the overwhelmingly common case): a dense array indexed
+//     by NodeID — O(1) retrieval with no hashing and one allocation for
+//     the whole table;
+//   - position/size-dependent: a map keyed by the projected context.
+type exprTable struct {
+	relev   xpath.Relev
+	vals    []semantics.Value
+	present []bool
+	m       map[ctxKey]semantics.Value
+	cval    semantics.Value
+	cset    bool
+}
+
 // Pool is a data pool. It implements naive.Pool.
 type Pool struct {
-	tables map[xpath.Expr]map[ctxKey]semantics.Value
-	relev  map[xpath.Expr]xpath.Relev
+	tables map[xpath.Expr]*exprTable
+
+	// sizeHint pre-sizes dense node-keyed tables to the document; 0
+	// means tables grow on demand.
+	sizeHint int
 
 	// Hits and Misses count retrieval-procedure outcomes, exposing the
 	// sharing the pool achieves.
@@ -35,32 +54,26 @@ type Pool struct {
 
 // New returns an empty pool.
 func New() *Pool {
-	return &Pool{
-		tables: map[xpath.Expr]map[ctxKey]semantics.Value{},
-		relev:  map[xpath.Expr]xpath.Relev{},
-	}
+	return &Pool{tables: map[xpath.Expr]*exprTable{}}
 }
 
-func (p *Pool) key(e xpath.Expr, c semantics.Context) ctxKey {
-	// Project the context onto its relevant part: an expression that
-	// cannot observe position/size is stored once per node, and a
-	// constant once overall. This is the Section 9.2 refinement for
-	// location paths, generalized through Relev (Section 8.2). The
-	// analysis is memoized per expression node so the projection is
-	// O(1) amortized.
-	r, ok := p.relev[e]
-	if !ok {
-		r = xpath.RelevantContext(e)
-		p.relev[e] = r
-	}
+// NewSized returns an empty pool whose dense per-expression tables are
+// pre-sized for a document of n nodes.
+func NewSized(n int) *Pool {
+	p := New()
+	p.sizeHint = n
+	return p
+}
+
+func (t *exprTable) key(c semantics.Context) ctxKey {
 	k := ctxKey{node: xmltree.NilNode, pos: -1, size: -1}
-	if r.Has(xpath.RelevNode) {
+	if t.relev.Has(xpath.RelevNode) {
 		k.node = c.Node
 	}
-	if r.Has(xpath.RelevPos) {
+	if t.relev.Has(xpath.RelevPos) {
 		k.pos = c.Pos
 	}
-	if r.Has(xpath.RelevSize) {
+	if t.relev.Has(xpath.RelevSize) {
 		k.size = c.Size
 	}
 	return k
@@ -74,30 +87,87 @@ func (p *Pool) Lookup(e xpath.Expr, c semantics.Context) (semantics.Value, bool)
 		p.Misses++
 		return semantics.Value{}, false
 	}
-	v, ok := t[p.key(e, c)]
-	if ok {
-		p.Hits++
-	} else {
-		p.Misses++
+	if t.m != nil {
+		v, ok := t.m[t.key(c)]
+		if ok {
+			p.Hits++
+		} else {
+			p.Misses++
+		}
+		return v, ok
 	}
-	return v, ok
+	if !t.relev.Has(xpath.RelevNode) {
+		if t.cset {
+			p.Hits++
+			return t.cval, true
+		}
+		p.Misses++
+		return semantics.Value{}, false
+	}
+	if n := int(c.Node); n >= 0 && n < len(t.vals) && t.present[n] {
+		p.Hits++
+		return t.vals[n], true
+	}
+	p.Misses++
+	return semantics.Value{}, false
 }
 
 // Store is the storage procedure: it records ⟨e, c, v⟩ in the pool.
 func (p *Pool) Store(e xpath.Expr, c semantics.Context, v semantics.Value) {
 	t, ok := p.tables[e]
 	if !ok {
-		t = map[ctxKey]semantics.Value{}
+		t = &exprTable{relev: xpath.RelevantContext(e)}
+		if t.relev&(xpath.RelevPos|xpath.RelevSize) != 0 {
+			t.m = map[ctxKey]semantics.Value{}
+		}
 		p.tables[e] = t
 	}
-	t[p.key(e, c)] = v
+	switch {
+	case t.m != nil:
+		t.m[t.key(c)] = v
+	case !t.relev.Has(xpath.RelevNode):
+		t.cval, t.cset = v, true
+	default:
+		n := int(c.Node)
+		if n < 0 {
+			return
+		}
+		if n >= len(t.vals) {
+			size := len(t.vals) * 2
+			if size < n+1 {
+				size = n + 1
+			}
+			if size < p.sizeHint {
+				size = p.sizeHint
+			}
+			vals := make([]semantics.Value, size)
+			copy(vals, t.vals)
+			present := make([]bool, size)
+			copy(present, t.present)
+			t.vals, t.present = vals, present
+		}
+		t.vals[n], t.present[n] = v, true
+	}
 }
 
 // Size returns the total number of stored triples.
 func (p *Pool) Size() int {
 	n := 0
 	for _, t := range p.tables {
-		n += len(t)
+		switch {
+		case t.m != nil:
+			n += len(t.m)
+		case !t.relev.Has(xpath.RelevNode):
+			if t.cset {
+				n++
+			}
+		default:
+			for _, ok := range t.present {
+				if ok {
+					n++
+				}
+			}
+		}
 	}
 	return n
 }
@@ -105,6 +175,6 @@ func (p *Pool) Size() int {
 // NewEvaluator returns a naive evaluator upgraded with a fresh data
 // pool, i.e. the paper's "Xalan + data pool" configuration.
 func NewEvaluator(d *xmltree.Document) (*naive.Evaluator, *Pool) {
-	p := New()
+	p := NewSized(d.Len())
 	return naive.NewWithPool(d, p), p
 }

@@ -40,6 +40,9 @@ func (e *Engine) NewSession(d *core.Document) *Session {
 	if e.opts.Fallback {
 		s.fb = core.NewEngine(d, core.MinContext)
 	}
+	// Build the document's structural index now, at registration time,
+	// so the first query served does not pay the O(|dom|) index build.
+	en.Warm()
 	s.lastUsed.Store(time.Now().UnixNano())
 	return s
 }

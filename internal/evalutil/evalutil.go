@@ -4,6 +4,8 @@
 package evalutil
 
 import (
+	"strings"
+
 	"repro/internal/axes"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -12,14 +14,30 @@ import (
 // StepCandidates computes S = {y | x χ y, y ∈ T(t)} for a single context
 // node: the axis image filtered by the node test, in document order.
 func StepCandidates(d *xmltree.Document, a axes.Axis, t xpath.NodeTest, x xmltree.NodeID) xmltree.NodeSet {
-	img := axes.EvalNode(d, a, x)
-	return FilterTest(d, a, t, img)
+	return StepCandidatesSet(d, a, t, xmltree.NodeSet{x})
 }
 
 // StepCandidatesSet computes {y | ∃x∈X: x χ y, y ∈ T(t)}.
+//
+// Exact element name tests — the `child::a` shape dominating real
+// queries — are served from the document's label index (axes.EvalNamed):
+// the axis restricts a precomputed posting list instead of materializing
+// the full image and scanning it node by node.
 func StepCandidatesSet(d *xmltree.Document, a axes.Axis, t xpath.NodeTest, xs xmltree.NodeSet) xmltree.NodeSet {
+	if ExactElementName(a, t) {
+		return axes.EvalNamed(d, a, xs, t.Name)
+	}
 	img := axes.Eval(d, a, xs)
 	return FilterTest(d, a, t, img)
+}
+
+// ExactElementName reports whether the step is an exact-name test whose
+// principal node type is element — the shape the label index answers.
+// Every engine consulting the index must use this one gate so the fast
+// path stays equivalent to FilterTest.
+func ExactElementName(a axes.Axis, t xpath.NodeTest) bool {
+	return t.Kind == xpath.TestName && t.Name != "*" && !strings.HasSuffix(t.Name, ":*") &&
+		a != axes.IDAxis && a.PrincipalType() == xmltree.Element
 }
 
 // FilterTest restricts a node set to the nodes satisfying the node test

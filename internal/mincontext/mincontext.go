@@ -632,12 +632,13 @@ func (st *state) evalInnerLocpath(p *xpath.Path, x xmltree.NodeSet) (map[xmltree
 			cur[n] = xmltree.NodeSet{n}
 		}
 	}
+	acc := xmltree.NewAccumulator(st.doc.Len())
 	for _, step := range p.Steps {
 		// Image of the current relation.
-		var img xmltree.NodeSet
 		for _, s := range cur {
-			img = img.Union(s)
+			acc.Add(s)
 		}
+		img := acc.Result()
 		rel, err := st.evalInnerStep(step, img)
 		if err != nil {
 			return nil, err
@@ -648,8 +649,14 @@ func (st *state) evalInnerLocpath(p *xpath.Path, x xmltree.NodeSet) (map[xmltree
 				return nil, err
 			}
 			var u xmltree.NodeSet
-			for _, y := range ys {
-				u = u.Union(rel[y])
+			if len(ys) == 1 {
+				// Rows are treated as immutable; aliasing skips a copy.
+				u = rel[ys[0]]
+			} else if len(ys) > 1 {
+				for _, y := range ys {
+					acc.Add(rel[y])
+				}
+				u = acc.Result()
 			}
 			next[x0] = u
 		}

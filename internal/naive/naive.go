@@ -230,7 +230,17 @@ func (ev *Evaluator) evalBinary(b *xpath.Binary, c semantics.Context) (semantics
 }
 
 func (ev *Evaluator) evalCall(call *xpath.Call, c semantics.Context) (semantics.Value, error) {
-	args := make([]semantics.Value, len(call.Args))
+	// Stack buffer for the common arities: CallFunction does not retain
+	// its args slice, so this avoids a heap allocation per call on the
+	// engine's hottest recursion (count(...) in the Experiment-3
+	// family).
+	var buf [4]semantics.Value
+	var args []semantics.Value
+	if len(call.Args) <= len(buf) {
+		args = buf[:len(call.Args)]
+	} else {
+		args = make([]semantics.Value, len(call.Args))
+	}
 	for i, a := range call.Args {
 		v, err := ev.eval(a, c)
 		if err != nil {
@@ -280,6 +290,16 @@ func (ev *Evaluator) filterForward(s xmltree.NodeSet, pred xpath.Expr) (xmltree.
 // is re-evaluated for every node produced by the step before it. This
 // recursion is the engineered source of exponential behaviour.
 func (ev *Evaluator) evalPath(p *xpath.Path, c semantics.Context) (xmltree.NodeSet, error) {
+	if p.Filter == nil && len(p.Steps) > 0 {
+		// Singleton start (the root for absolute paths, the context node
+		// otherwise): recurse directly, skipping the start-set and
+		// union-buffer allocations.
+		x := c.Node
+		if p.Absolute {
+			x = ev.doc.RootID()
+		}
+		return ev.stepsFrom(p, 0, x)
+	}
 	var start xmltree.NodeSet
 	switch {
 	case p.Filter != nil:
@@ -305,9 +325,9 @@ func (ev *Evaluator) evalPath(p *xpath.Path, c semantics.Context) (xmltree.NodeS
 		if err != nil {
 			return nil, err
 		}
-		out = out.Union(s)
+		out = append(out, s...)
 	}
-	return out, nil
+	return out.Normalized(), nil
 }
 
 // stepsFrom evaluates the step suffix p.Steps[idx:] from node x,
@@ -340,12 +360,19 @@ func (ev *Evaluator) processLocationStep(p *xpath.Path, idx int, x xmltree.NodeI
 	}
 	step := p.Steps[idx]
 	s := evalutil.StepCandidates(ev.doc, step.Axis, step.Test, x)
-	// Predicates in ascending order over <doc,χ positions (Figure 5).
+	// Predicates with positions over <doc,χ (Figure 5): the set stays in
+	// document order and reverse axes get pos = n−i, so the filter runs
+	// in place with no reversed copy.
+	reverse := step.Axis.IsReverse()
 	for _, pred := range step.Preds {
-		ordered := evalutil.AxisOrdered(step.Axis, s)
-		var keep xmltree.NodeSet
-		for i, y := range ordered {
-			v, err := ev.eval(pred, semantics.Context{Node: y, Pos: i + 1, Size: len(ordered)})
+		keep := s[:0]
+		n := len(s)
+		for i, y := range s {
+			pos := i + 1
+			if reverse {
+				pos = n - i
+			}
+			v, err := ev.eval(pred, semantics.Context{Node: y, Pos: pos, Size: n})
 			if err != nil {
 				return nil, err
 			}
@@ -353,18 +380,20 @@ func (ev *Evaluator) processLocationStep(p *xpath.Path, idx int, x xmltree.NodeI
 				keep = append(keep, y)
 			}
 		}
-		s = xmltree.NewNodeSet(keep...)
+		s = keep
 	}
 	if idx == len(p.Steps)-1 {
 		return s, nil
 	}
+	// Union of the recursive suffix results, built by appending and
+	// normalizing once instead of chained sorted merges.
 	var out xmltree.NodeSet
 	for _, n := range s {
 		sub, err := ev.stepsFrom(p, idx+1, n)
 		if err != nil {
 			return nil, err
 		}
-		out = out.Union(sub)
+		out = append(out, sub...)
 	}
-	return out, nil
+	return out.Normalized(), nil
 }

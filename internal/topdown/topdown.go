@@ -277,9 +277,16 @@ func (ev *Evaluator) evalFilterVector(f *xpath.FilterExpr, ctxs []semantics.Cont
 // previous/current-node pairs.
 func (ev *Evaluator) evalStepVector(step *xpath.Step, inputs []xmltree.NodeSet) ([]xmltree.NodeSet, error) {
 	// ⋃Xi
+	eq := allEqual(inputs)
 	var union xmltree.NodeSet
-	for _, x := range inputs {
-		union = union.Union(x)
+	if eq {
+		union = inputs[0]
+	} else {
+		acc := xmltree.NewAccumulator(ev.doc.Len())
+		for _, x := range inputs {
+			acc.Add(x)
+		}
+		union = acc.Result()
 	}
 	if len(union) == 0 {
 		return make([]xmltree.NodeSet, len(inputs)), nil
@@ -289,7 +296,7 @@ func (ev *Evaluator) evalStepVector(step *xpath.Step, inputs []xmltree.NodeSet) 
 	// slots are identical we can evaluate once.
 	if len(step.Preds) == 0 {
 		out := make([]xmltree.NodeSet, len(inputs))
-		if allEqual(inputs) {
+		if eq {
 			r := evalutil.StepCandidatesSet(ev.doc, step.Axis, step.Test, union)
 			for i := range out {
 				out[i] = r.Clone()
@@ -353,10 +360,16 @@ func (ev *Evaluator) evalStepVector(step *xpath.Step, inputs []xmltree.NodeSet) 
 	}
 	// Distribute: Ri = ⋃{Sx | x ∈ Xi}.
 	out := make([]xmltree.NodeSet, len(inputs))
+	acc := xmltree.NewAccumulator(ev.doc.Len())
 	for i, xi := range inputs {
 		var r xmltree.NodeSet
-		for _, x := range xi {
-			r = r.Union(sx[x])
+		if len(xi) == 1 {
+			r = sx[xi[0]]
+		} else if len(xi) > 1 {
+			for _, x := range xi {
+				acc.Add(sx[x])
+			}
+			r = acc.Result()
 		}
 		out[i] = r
 	}

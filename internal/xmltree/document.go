@@ -33,6 +33,11 @@ type Document struct {
 	strvalMu    sync.Mutex
 	strvalCache []string
 	strvalDone  []bool
+
+	// idx is the lazily built structural index (subtree intervals, name
+	// posting lists, evaluator scratch pool); see Index().
+	idxOnce sync.Once
+	idx     *Index
 }
 
 // Len returns |dom|, the number of nodes in the document.

@@ -1,6 +1,9 @@
 package xmltree
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // NodeSet is a set of nodes maintained sorted in document order with no
 // duplicates — the representation of the XPath nset type. The zero value
@@ -17,7 +20,7 @@ func NewNodeSet(ids ...NodeID) NodeSet {
 
 func (s *NodeSet) normalize() {
 	ns := *s
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	slices.Sort(ns)
 	out := ns[:0]
 	for i, id := range ns {
 		if i == 0 || id != ns[i-1] {
@@ -25,6 +28,23 @@ func (s *NodeSet) normalize() {
 		}
 	}
 	*s = out
+}
+
+// Normalized sorts s in place and removes duplicates, returning the
+// (possibly shortened) slice. It is the allocation-free counterpart of
+// NewNodeSet for unions built by appending into one buffer.
+func (s NodeSet) Normalized() NodeSet {
+	s.normalize()
+	return s
+}
+
+// Reversed reverses s in place and returns it: the conversion between
+// document order and reverse-axis order.
+func (s NodeSet) Reversed() NodeSet {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
 }
 
 // Contains reports membership using binary search.
@@ -125,32 +145,6 @@ func (s NodeSet) Equal(t NodeSet) bool {
 // Clone returns a copy of the set.
 func (s NodeSet) Clone() NodeSet { return append(NodeSet(nil), s...) }
 
-// Bitmap is a dense boolean set over dom used by the linear-time Core
-// XPath algebra (Section 10.1), where each set operation must run in
-// O(|dom|).
-type Bitmap []bool
-
-// NewBitmap returns an empty bitmap for a document of n nodes.
-func NewBitmap(n int) Bitmap { return make(Bitmap, n) }
-
-// FromNodeSet fills the bitmap with the members of s.
-func (b Bitmap) FromNodeSet(s NodeSet) Bitmap {
-	for i := range b {
-		b[i] = false
-	}
-	for _, id := range s {
-		b[id] = true
-	}
-	return b
-}
-
-// ToNodeSet converts the bitmap to a sorted NodeSet.
-func (b Bitmap) ToNodeSet() NodeSet {
-	var out NodeSet
-	for i, ok := range b {
-		if ok {
-			out = append(out, NodeID(i))
-		}
-	}
-	return out
-}
+// The dense boolean set over dom used by the linear-time Core XPath
+// algebra (Section 10.1) is Bitset (bitset.go): a packed []uint64 whose
+// set operations run word-parallel, 64 members per machine word.

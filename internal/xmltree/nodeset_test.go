@@ -99,14 +99,14 @@ func TestNodeSetAlgebraProperties(t *testing.T) {
 	}
 }
 
-func TestBitmapRoundTrip(t *testing.T) {
+func TestBitsetRoundTrip(t *testing.T) {
 	if err := quick.Check(func(raw []uint8) bool {
 		var ids []NodeID
 		for _, v := range raw {
-			ids = append(ids, NodeID(v%32))
+			ids = append(ids, NodeID(v)) // universe of 256 spans >1 word
 		}
 		s := NewNodeSet(ids...)
-		b := NewBitmap(32).FromNodeSet(s)
+		b := NewBitset(256).FromNodeSet(s)
 		return b.ToNodeSet().Equal(s)
 	}, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
