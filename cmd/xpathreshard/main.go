@@ -1,0 +1,80 @@
+// Command xpathreshard moves a document corpus between placement
+// rings: when the cluster's peer set changes (a node added for
+// capacity, a node retired), it streams every document from the old
+// ring and writes it through the new ring's placement — owner plus
+// -replicas successors — preserving each document's monotonic
+// version, so replicas and router answer caches keep detecting
+// staleness across the migration.
+//
+// Usage:
+//
+//	xpathreshard -from http://n1:8080,http://n2:8080 \
+//	    -to http://n1:8080,http://n2:8080,http://n3:8080 \
+//	    -replicas 1 [-dry-run] [-prune] [-timeout 10s]
+//
+// The run is idempotent and resumable: nodes are inventoried first
+// (old and new), copies that are already in place at the right
+// version are skipped, and stale writes are refused by the backends
+// themselves — re-running a completed reshard copies nothing, and an
+// interrupted run picks up where it stopped. -dry-run prints the
+// movement plan (one "copy A -> B" line per pending copy) without
+// touching anything. -prune deletes each document's off-placement
+// copies once its new-ring copies have all landed; without it the old
+// copies stay, which makes a migration trivially abortable.
+//
+// During the migration, point the router at the new ring with
+// -drain-peers set to the old ring: read misses on the new ring are
+// forwarded to the old one, so clients keep their answers while
+// documents move. Exit status is 0 on a clean run, 1 when any copy or
+// prune failed (re-run to reconcile), 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	from := flag.String("from", "", "old ring: comma-separated backend base URLs (required)")
+	to := flag.String("to", "", "new ring: comma-separated backend base URLs (required)")
+	replicas := flag.Int("replicas", 0, "new ring's replication factor: copies per document beyond the owner")
+	fromGen := flag.Uint64("from-generation", 1, "old ring's placement generation")
+	toGen := flag.Uint64("to-generation", 0, "new ring's placement generation (default from-generation+1)")
+	dryRun := flag.Bool("dry-run", false, "print the movement plan without copying or pruning")
+	prune := flag.Bool("prune", false, "delete off-placement copies after a document's copies all land")
+	timeout := flag.Duration("timeout", cluster.DefaultTimeout, "per-node call timeout")
+	flag.Parse()
+
+	fromNodes, err := cluster.ParsePeers(*from, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathreshard: -from: %v\n", err)
+		os.Exit(2)
+	}
+	toNodes, err := cluster.ParsePeers(*to, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathreshard: -to: %v\n", err)
+		os.Exit(2)
+	}
+	sum, err := cluster.Reshard(context.Background(), cluster.ReshardOptions{
+		From:           fromNodes,
+		To:             toNodes,
+		FromGeneration: *fromGen,
+		ToGeneration:   *toGen,
+		Replicas:       *replicas,
+		DryRun:         *dryRun,
+		Prune:          *prune,
+		Timeout:        *timeout,
+		Log:            os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathreshard: %v\n", err)
+		if sum.Errors > 0 {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+}

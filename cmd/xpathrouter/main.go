@@ -7,30 +7,41 @@
 // Usage:
 //
 //	xpathrouter -addr :8079 -peers http://n1:8080,http://n2:8080,http://n3:8080 \
-//	    -replica-retry 1 -timeout 10s
+//	    -replicas 1 -replica-retry 1 -timeout 10s
 //
 // Endpoints (the xpathserve surface, plus fleet views):
 //
-//	POST   /documents  {"name": "d", "xml": "..."}   register on the owning node
+//	POST   /documents  {"name": "d", "xml": "..."}   register on the owner + replicas
 //	GET    /documents                                merged listing, tagged per node
 //	GET    /documents?name=d                         fetch from the owning node
-//	DELETE /documents?name=d                         evict from the owning node
+//	DELETE /documents?name=d                         evict from every holder
 //	GET    /query?doc=d&q=//b                        forwarded to the owning node
 //	POST   /query      {"doc": "d", "query": "..."}  same, JSON body
 //	POST   /batch      {"doc": "d", ...}             single-doc batch, relayed
-//	POST   /batch      {"docs": ["d","e"], ...}      scatter-gather across owners
+//	POST   /batch      {"docs": ["d","e"], ...}      scatter-gather, one stream per node
 //	GET    /stats                                    per-node stats + fleet totals
-//	GET    /health                                   per-peer health view
+//	GET    /health                                   per-peer health + ring description
 //
-// /batch streams NDJSON in completion order across all backend
-// streams; every line carries the global job index ("index",
-// doc-major), the document ("doc") and the node that produced it
-// ("node"). Disconnecting cancels every in-flight backend call, and
-// the backends stop their evaluations at the next cancellation
-// checkpoint. -replica-retry N retries a request on up to N further
-// peers (ring order) when the owner is unreachable. A single -peers
-// entry is the degenerate 1-node deployment: same binary, same API,
-// no special casing.
+// The -peers list becomes a canonically ordered placement ring
+// (stamped -ring-generation): reordering the flag never moves
+// documents, only adding or removing a peer does — and that is
+// cmd/xpathreshard's job, with -drain-peers pointing this router at
+// the old ring so read misses keep answering mid-migration.
+// -replicas N mirrors every registration to the owner's next N ring
+// successors at the owner-assigned document version, so -replica-retry
+// reads hit a warm copy when the owner is down. Repeated identical
+// queries are served from an LRU answer cache (-answer-cache entries)
+// keyed by (doc, query, version) and invalidated when a registration
+// bumps the version.
+//
+// /batch groups jobs by owning node — M documents over N nodes opens
+// at most N backend streams — and merges them into one NDJSON
+// response in completion order; every line carries the global job
+// index ("index", doc-major), the document ("doc") and the node that
+// produced it ("node"). Disconnecting cancels every in-flight backend
+// call, and the backends stop their evaluations at the next
+// cancellation checkpoint. A single -peers entry is the degenerate
+// 1-node deployment: same binary, same API, no special casing.
 package main
 
 import (
@@ -50,6 +61,10 @@ func main() {
 	addr := flag.String("addr", ":8079", "listen address")
 	peers := flag.String("peers", "", "comma-separated backend base URLs (required), e.g. http://n1:8080,http://n2:8080")
 	retries := flag.Int("replica-retry", 0, "how many further peers to try when a document's owner is unreachable")
+	replicas := flag.Int("replicas", 0, "mirror each registration to this many ring successors beyond the owner")
+	generation := flag.Uint64("ring-generation", 1, "placement generation stamped on the ring (bump when the peer set changes)")
+	answerCache := flag.Int("answer-cache", cluster.DefaultAnswerCacheSize, "router answer cache capacity in entries (0 disables)")
+	drainPeers := flag.String("drain-peers", "", "previous ring's backend URLs: forward read misses there while cmd/xpathreshard migrates the corpus")
 	timeout := flag.Duration("timeout", cluster.DefaultTimeout, "per-backend-call timeout (batch streams are exempt beyond dial/header latency)")
 	healthEvery := flag.Duration("health-interval", 5*time.Second, "background health probe period")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (match the backends' -max-body)")
@@ -60,12 +75,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xpathrouter: %v\n", err)
 		os.Exit(2)
 	}
-	router, err := cluster.New(nodes, cluster.Options{
-		Retries:        *retries,
-		Timeout:        *timeout,
-		HealthInterval: *healthEvery,
-		MaxBody:        *maxBody,
-	})
+	cacheSize := *answerCache
+	if cacheSize == 0 {
+		cacheSize = -1 // Options uses negative for "disabled", 0 for the default
+	}
+	opts := cluster.Options{
+		Retries:         *retries,
+		Replicas:        *replicas,
+		Generation:      *generation,
+		AnswerCacheSize: cacheSize,
+		Timeout:         *timeout,
+		HealthInterval:  *healthEvery,
+		MaxBody:         *maxBody,
+	}
+	if *drainPeers != "" {
+		opts.DrainPeers, err = cluster.ParsePeers(*drainPeers, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathrouter: -drain-peers: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	router, err := cluster.New(nodes, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xpathrouter: %v\n", err)
 		os.Exit(2)
@@ -73,12 +103,13 @@ func main() {
 	router.Start()
 	defer router.Stop()
 
-	names := make([]string, len(nodes))
-	for i, n := range nodes {
-		names[i] = n.Name()
+	ring := router.Ring()
+	names := make([]string, 0, ring.Len())
+	for _, n := range ring.Peers() {
+		names = append(names, n.Name())
 	}
-	log.Printf("xpathrouter listening on %s (peers=%v replica-retry=%d timeout=%v)",
-		*addr, names, *retries, *timeout)
+	log.Printf("xpathrouter listening on %s (ring=%v generation=%d replicas=%d replica-retry=%d timeout=%v)",
+		*addr, names, ring.Generation(), *replicas, *retries, *timeout)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           router.Handler(),
@@ -90,31 +121,15 @@ func main() {
 	}
 }
 
-// parsePeers turns the -peers flag into Nodes, rejecting empties and
-// duplicates (a duplicate peer would silently skew the partitioning).
+// parsePeers turns the -peers flag into Nodes via the shared
+// cluster.ParsePeers, prefixing errors with the flag's name.
 func parsePeers(spec string, timeout time.Duration) ([]*cluster.Node, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("-peers is required (comma-separated backend URLs)")
 	}
-	seen := map[string]bool{}
-	var nodes []*cluster.Node
-	for _, raw := range strings.Split(spec, ",") {
-		raw = strings.TrimSpace(raw)
-		if raw == "" {
-			continue
-		}
-		n, err := cluster.NewNode(raw, timeout)
-		if err != nil {
-			return nil, err
-		}
-		if seen[n.URL()] {
-			return nil, fmt.Errorf("duplicate peer %s", n.URL())
-		}
-		seen[n.URL()] = true
-		nodes = append(nodes, n)
-	}
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("-peers contained no usable URLs: %q", spec)
+	nodes, err := cluster.ParsePeers(spec, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("-peers: %w", err)
 	}
 	return nodes, nil
 }

@@ -105,7 +105,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
 			os.Exit(1)
 		}
-		n, err := srv.AddDocument(name, string(xml))
+		n, _, err := srv.AddDocument(name, string(xml))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAnswerCacheTombstone pins the delete race: an answer that was
+// in flight when the document was deleted (it carries the pre-delete
+// version) must not re-populate the cache, while a legitimate
+// re-registration (necessarily at a higher version) revives it.
+func TestAnswerCacheTombstone(t *testing.T) {
+	c := newAnswerCache(8)
+	c.put("d", "q", 5, []byte("v5 answer"))
+	if _, ok := c.get("d", "q"); !ok {
+		t.Fatal("cached answer not served")
+	}
+	c.forget("d") // DELETE through the router
+	if _, ok := c.get("d", "q"); ok {
+		t.Fatal("deleted document still served from cache")
+	}
+	// The late in-flight answer arrives at the dead version: rejected.
+	c.put("d", "q", 5, []byte("v5 answer"))
+	if _, ok := c.get("d", "q"); ok {
+		t.Fatal("late in-flight answer re-populated the cache after delete")
+	}
+	// Same for a version-bump echo at or below the tombstone.
+	c.bump("d", 5)
+	c.put("d", "q", 5, []byte("v5 answer"))
+	if _, ok := c.get("d", "q"); ok {
+		t.Fatal("stale bump cleared the tombstone")
+	}
+	// A re-registration at a higher version revives the name.
+	c.bump("d", 6)
+	c.put("d", "q", 6, []byte("v6 answer"))
+	if body, ok := c.get("d", "q"); !ok || string(body) != "v6 answer" {
+		t.Fatalf("re-registered document not served: %q, %v", body, ok)
+	}
+}
+
+// TestAnswerCacheBounds pins the memory bounds: the LRU respects its
+// capacity, and the version-watermark and tombstone maps stay bounded
+// under unbounded name churn.
+func TestAnswerCacheBounds(t *testing.T) {
+	c := newAnswerCache(4)
+	for i := 0; i < 100; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		c.put(doc, "q", uint64(i+1), []byte("x"))
+		c.forget(doc)
+	}
+	st := c.stats()
+	if st.Entries > 4 {
+		t.Fatalf("LRU holds %d entries past capacity 4", st.Entries)
+	}
+	if len(c.latest) > 4*c.cap+1 {
+		t.Fatalf("latest map grew to %d entries under name churn", len(c.latest))
+	}
+	if len(c.dead) > 4*c.cap+1 {
+		t.Fatalf("dead map grew to %d entries under name churn", len(c.dead))
+	}
+}

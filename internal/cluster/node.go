@@ -1,14 +1,21 @@
-// Package cluster takes the serving stack multi-process: a Remote
-// implementation of store.Store over a peer node's HTTP document API,
-// and a Router that partitions documents across N xpathserve backends
-// with the same FNV-1a routing the in-process store uses for shards
-// (store.KeyShard), forwarding /query to the owning node and fanning
-// /batch out scatter-gather style.
+// Package cluster takes the serving stack multi-process around an
+// explicit, versioned placement abstraction. Ring is the placement
+// layer: a canonically ordered peer list plus a generation number,
+// partitioned with the same FNV-1a routing the in-process store uses
+// for shards (store.KeyShard). On top of it sit a Remote
+// implementation of store.Store over a peer node's HTTP document API;
+// a Router that forwards /query to the owning node (with replica
+// retry, an answer cache keyed by document version, and drain-mode
+// fallback to an old ring mid-migration), mirrors registrations to
+// ring successors at the owner-assigned version, and fans /batch out
+// scatter-gather style with one stream per owning node; and Reshard
+// (cmd/xpathreshard), which moves a corpus between rings
+// idempotently, preserving versions.
 //
-// The layering is store (placement + memory accounting) → engine
-// (compile cache + evaluation) → serve (wire format) → cluster (this
-// package: multi-process routing). A single-node deployment is the
-// degenerate 1-peer case of the router.
+// The layering is store (placement + memory accounting + versions) →
+// engine (compile cache + evaluation) → serve (wire format) → cluster
+// (this package: multi-process routing). A single-node deployment is
+// the degenerate 1-peer case of the router.
 package cluster
 
 import (
@@ -243,13 +250,24 @@ func (n *Node) LastCheck() time.Time {
 }
 
 // PutDocument registers (or replaces) a document on the peer,
-// returning its node count.
-func (n *Node) PutDocument(ctx context.Context, name, xml string) (int, error) {
+// returning its node count and the version the peer assigned.
+func (n *Node) PutDocument(ctx context.Context, name, xml string) (int, uint64, error) {
+	return n.PutDocumentAt(ctx, name, xml, 0)
+}
+
+// PutDocumentAt registers a document at an explicit version — the
+// mirror write of replication and resharding (see
+// serve.Server.AddDocumentAt). A zero version lets the peer
+// self-assign. It returns the node count and the version now resident
+// under name on the peer (which is the resident version, not ver, when
+// the mirror write was stale).
+func (n *Node) PutDocumentAt(ctx context.Context, name, xml string, ver uint64) (int, uint64, error) {
 	var out struct {
-		Nodes int `json:"nodes"`
+		Nodes   int    `json:"nodes"`
+		Version uint64 `json:"version"`
 	}
-	err := n.do(ctx, http.MethodPost, "/documents", serve.DocumentRequest{Name: name, XML: xml}, &out)
-	return out.Nodes, err
+	err := n.do(ctx, http.MethodPost, "/documents", serve.DocumentRequest{Name: name, XML: xml, Version: ver}, &out)
+	return out.Nodes, out.Version, err
 }
 
 // GetDocument fetches one document, serialized XML included.
@@ -343,14 +361,17 @@ func (n *Node) Query(ctx context.Context, doc, query string) (int, map[string]an
 	return resp.StatusCode, out, nil
 }
 
-// StreamBatch runs a batch on the peer and hands each NDJSON line to
-// emit as a decoded object, in the order the peer streams them
-// (completion order). The request is tied to ctx: cancelling it tears
-// the connection down and the peer stops its in-flight evaluations at
-// their next checkpoint. A non-200 response comes back as a typed
-// error before emit is ever called.
-func (n *Node) StreamBatch(ctx context.Context, doc string, queries []string, emit func(map[string]any) error) error {
-	buf, err := json.Marshal(serve.BatchRequest{Doc: doc, Queries: queries})
+// StreamJobs runs a grouped batch on the peer — one NDJSON stream
+// spanning every (doc, query) job, however many documents it covers —
+// and hands each line to emit as a decoded object, in the order the
+// peer streams them (completion order). This is the cluster's
+// one-stream-per-node batch transport: the router sends each backend
+// exactly the jobs it owns. The request is tied to ctx: cancelling it
+// tears the connection down and the peer stops its in-flight
+// evaluations at their next checkpoint. A non-200 response comes back
+// as a typed error before emit is ever called.
+func (n *Node) StreamJobs(ctx context.Context, jobs []serve.BatchJob, emit func(map[string]any) error) error {
+	buf, err := json.Marshal(serve.BatchRequest{Jobs: jobs})
 	if err != nil {
 		return err
 	}

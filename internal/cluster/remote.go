@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/serve"
 	"repro/internal/store"
 )
 
@@ -77,10 +78,11 @@ func (r *Remote) GetDocument(ctx context.Context, key string) (string, error) {
 	return info.XML, nil
 }
 
-// PutDocument registers xml under key on the peer.
-func (r *Remote) PutDocument(ctx context.Context, key, xml string) error {
-	_, err := r.node.PutDocument(ctx, key, xml)
-	return err
+// PutDocument registers xml under key on the peer, returning the
+// version the peer assigned.
+func (r *Remote) PutDocument(ctx context.Context, key, xml string) (uint64, error) {
+	_, ver, err := r.node.PutDocument(ctx, key, xml)
+	return ver, err
 }
 
 // Get returns the document stored under key. Transport failures read
@@ -97,15 +99,16 @@ func (r *Remote) Get(key string) (string, bool) {
 	return xml, true
 }
 
-// Put stores v (serialized XML) under key. The size argument is
-// ignored: the peer accounts the document at its own serialized size,
-// exactly as a local AddDocument would.
-func (r *Remote) Put(key string, v string, _ int64) error {
+// Put stores v (serialized XML) under key, returning the version the
+// peer assigned. The size argument is ignored: the peer accounts the
+// document at its own serialized size, exactly as a local AddDocument
+// would.
+func (r *Remote) Put(key string, v string, _ int64) (uint64, error) {
 	ctx, cancel := r.callCtx()
 	defer cancel()
-	err := r.PutDocument(ctx, key, v)
+	ver, err := r.PutDocument(ctx, key, v)
 	r.note(err)
-	return err
+	return ver, err
 }
 
 // Delete removes key, reporting whether the peer had it.
@@ -123,6 +126,16 @@ func (r *Remote) Delete(key string) bool {
 // be visited, matching the local store's Range contract. Documents
 // that vanish between the listing and their fetch are skipped.
 func (r *Remote) Range(f func(key string, v string, size int64) bool) {
+	r.RangeDocuments(func(info serve.DocInfo) bool {
+		return f(info.Name, info.XML, info.Bytes)
+	})
+}
+
+// RangeDocuments is Range with the full wire-level document record:
+// each visited DocInfo carries the serialized XML and the document's
+// monotonic version — what the reshard tool streams when it moves a
+// corpus between rings while preserving versions.
+func (r *Remote) RangeDocuments(f func(info serve.DocInfo) bool) {
 	ctx, cancel := r.callCtx()
 	defer cancel()
 	docs, err := r.node.Documents(ctx)
@@ -141,7 +154,7 @@ func (r *Remote) Range(f func(key string, v string, size int64) bool) {
 		if err != nil {
 			return
 		}
-		if !f(info.Name, info.XML, info.Bytes) {
+		if !f(info) {
 			return
 		}
 	}

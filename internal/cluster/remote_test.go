@@ -39,10 +39,10 @@ func TestRemoteRoundTrip(t *testing.T) {
 	b := newBackend(t, store.Config{})
 	r := NewRemote(b.node, 5*time.Second)
 
-	if err := r.Put("alpha", "<a><b/><b/></a>", 0); err != nil {
+	if _, err := r.Put("alpha", "<a><b/><b/></a>", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Put("beta", "<x><y/></x>", 0); err != nil {
+	if _, err := r.Put("beta", "<x><y/></x>", 0); err != nil {
 		t.Fatal(err)
 	}
 	xml, ok := r.Get("alpha")
@@ -92,22 +92,22 @@ func TestRemoteTypedErrors(t *testing.T) {
 	b := newBackend(t, store.Config{MaxEntries: 1})
 	r := NewRemote(b.node, time.Second)
 
-	if err := r.Put("one", "<a/>", 0); err != nil {
+	if _, err := r.Put("one", "<a/>", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Put("two", "<b/>", 0); !errors.Is(err, store.ErrFull) {
+	if _, err := r.Put("two", "<b/>", 0); !errors.Is(err, store.ErrFull) {
 		t.Fatalf("over-cap Put err = %v, want store.ErrFull", err)
 	}
 	var pe *PeerError
-	if err := r.Put("one", "<unclosed", 0); !errors.As(err, &pe) || pe.Status != 400 {
+	if _, err := r.Put("one", "<unclosed", 0); !errors.As(err, &pe) || pe.Status != 400 {
 		t.Fatalf("malformed XML err = %v, want PeerError with status 400", err)
 	}
-	if !errors.Is(r.Put("one", "<unclosed", 0), ErrPeer) {
+	if _, err := r.Put("one", "<unclosed", 0); !errors.Is(err, ErrPeer) {
 		t.Fatal("PeerError does not match ErrPeer")
 	}
 
 	b.ts.Close() // the peer goes away
-	if err := r.Put("one", "<a/>", 0); !errors.Is(err, ErrUnavailable) {
+	if _, err := r.Put("one", "<a/>", 0); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Put against downed peer err = %v, want ErrUnavailable", err)
 	}
 	if _, ok := r.Get("one"); ok {

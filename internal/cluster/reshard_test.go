@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestReshardGrowRing is the migration acceptance test: a corpus
+// registered on a 2-node ring is resharded onto a 3-node ring (the
+// two old nodes plus a fresh one) with zero lost documents, preserved
+// versions, dry-run planning, idempotent re-runs, and prune cleanup.
+func TestReshardGrowRing(t *testing.T) {
+	backends := make([]*backend, 3)
+	for i := range backends {
+		backends[i] = newBackend(t, store.Config{})
+	}
+	oldNodes := []*Node{backends[0].node, backends[1].node}
+	newNodes := []*Node{backends[0].node, backends[1].node, backends[2].node}
+
+	// Register a corpus through a router over the old ring.
+	oldRouter, err := New(oldNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ots := httptest.NewServer(oldRouter.Handler())
+	t.Cleanup(ots.Close)
+	docs := map[string]string{}
+	for i := 0; i < 10; i++ {
+		name := "doc-" + string(rune('a'+i))
+		docs[name] = "<a><b/><b/></a>"
+		if resp, out := postJSON(t, ots.URL+"/documents", map[string]string{"name": name, "xml": docs[name]}); resp.StatusCode != 200 {
+			t.Fatalf("register %s: %d %v", name, resp.StatusCode, out)
+		}
+	}
+	// Replace one document so its version is above 1 — the reshard
+	// must preserve it.
+	if resp, out := postJSON(t, ots.URL+"/documents", map[string]string{"name": "doc-a", "xml": "<a><b/><b/><b/></a>"}); resp.StatusCode != 200 {
+		t.Fatalf("replace doc-a: %d %v", resp.StatusCode, out)
+	}
+	docs["doc-a"] = "<a><b/><b/><b/></a>"
+	ctx := context.Background()
+	wantVer, err := backends[0].node.GetDocument(ctx, "doc-a")
+	if err != nil {
+		// doc-a may live on the other node; find it.
+		wantVer, err = backends[1].node.GetDocument(ctx, "doc-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dry run: plans copies onto the fresh node, moves nothing.
+	var planLog bytes.Buffer
+	dry, err := Reshard(ctx, ReshardOptions{
+		From: oldNodes, To: newNodes, DryRun: true, Timeout: 5 * time.Second, Log: &planLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.Documents != 10 || dry.Copies == 0 {
+		t.Fatalf("dry run = %+v, want 10 documents and a nonzero plan", dry)
+	}
+	if !strings.Contains(planLog.String(), "copy") {
+		t.Fatalf("dry-run log carries no movement plan:\n%s", planLog.String())
+	}
+	if st := backends[2].srv.StoreStats(); st.Entries != 0 {
+		t.Fatalf("dry run moved %d documents onto the new node", st.Entries)
+	}
+
+	// Real run: every planned copy lands.
+	sum, err := Reshard(ctx, ReshardOptions{From: oldNodes, To: newNodes, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("reshard: %v (%+v)", err, sum)
+	}
+	if sum.Copies != dry.Copies || sum.Errors != 0 {
+		t.Fatalf("reshard = %+v, want %d copies and no errors", sum, dry.Copies)
+	}
+
+	// Zero lost documents: a router over the NEW ring answers every
+	// document from its new owner, with no retry budget to lean on.
+	newRouter, err := New(newNodes, Options{Generation: 2, AnswerCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nts := httptest.NewServer(newRouter.Handler())
+	t.Cleanup(nts.Close)
+	moved := 0
+	for name := range docs {
+		resp, out := getJSON(t, nts.URL+"/query?doc="+name+"&q=count(//b)")
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s lost in reshard: %d %v", name, resp.StatusCode, out)
+		}
+		want := 2.0
+		if name == "doc-a" {
+			want = 3.0
+		}
+		if out["value"].(map[string]any)["number"] != want {
+			t.Fatalf("%s answered %v after reshard, want %v", name, out["value"], want)
+		}
+		if out["node"] == backends[2].node.Name() {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no document is owned by the new node — placement did not change")
+	}
+	// The replaced document kept its version on its new owner.
+	info, err := newRouter.Owner("doc-a").GetDocument(ctx, "doc-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != wantVer.Version {
+		t.Fatalf("doc-a resharded at version %d, want preserved %d", info.Version, wantVer.Version)
+	}
+
+	// Idempotent: a second run copies nothing.
+	again, err := Reshard(ctx, ReshardOptions{From: oldNodes, To: newNodes, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Copies != 0 || again.Errors != 0 {
+		t.Fatalf("re-run = %+v, want zero copies (idempotent)", again)
+	}
+
+	// Prune: off-placement copies disappear; every document stays
+	// answerable on the new ring.
+	pruned, err := Reshard(ctx, ReshardOptions{From: oldNodes, To: newNodes, Prune: true, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Pruned == 0 {
+		t.Fatalf("prune run = %+v, want pruned copies", pruned)
+	}
+	total := 0
+	for _, b := range backends {
+		total += b.srv.StoreStats().Entries
+	}
+	if total != 10 {
+		t.Fatalf("after prune the fleet holds %d copies, want exactly 10 (one per doc)", total)
+	}
+	for name := range docs {
+		if resp, _ := getJSON(t, nts.URL+"/query?doc="+name+"&q=count(//b)"); resp.StatusCode != 200 {
+			t.Fatalf("%s unanswerable after prune: %d", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestReshardWithReplicas reshards onto a replicated placement: each
+// document lands on its new owner plus one successor.
+func TestReshardWithReplicas(t *testing.T) {
+	backends := make([]*backend, 3)
+	for i := range backends {
+		backends[i] = newBackend(t, store.Config{})
+	}
+	oldNodes := []*Node{backends[0].node}
+	newNodes := []*Node{backends[0].node, backends[1].node, backends[2].node}
+	ctx := context.Background()
+	for _, name := range []string{"r1", "r2", "r3", "r4"} {
+		if _, _, err := backends[0].node.PutDocument(ctx, name, "<a><b/></a>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := Reshard(ctx, ReshardOptions{
+		From: oldNodes, To: newNodes, Replicas: 1, Prune: true, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("reshard: %v (%+v)", err, sum)
+	}
+	newRing, _ := NewRing(newNodes, 2)
+	byURL := map[string]*backend{}
+	for _, b := range backends {
+		byURL[b.node.URL()] = b
+	}
+	for _, name := range []string{"r1", "r2", "r3", "r4"} {
+		for _, n := range newRing.Replicas(name, 1) {
+			if _, ok := byURL[n.URL()].srv.Session(name); !ok {
+				t.Fatalf("%s missing from its placement node %s", name, n.Name())
+			}
+		}
+	}
+	// An unreachable node aborts instead of resharding around a hole.
+	backends[1].ts.Close()
+	if _, err := Reshard(ctx, ReshardOptions{
+		From: oldNodes, To: newNodes, Timeout: time.Second,
+	}); err == nil {
+		t.Fatal("reshard with an unreachable node did not abort")
+	}
+}

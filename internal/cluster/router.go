@@ -37,7 +37,25 @@ type Options struct {
 	// Retries is how many additional peers (in ring order after the
 	// owner) a request is retried on when the owner is unreachable —
 	// the -replica-retry flag. 0 means the owner is the only candidate.
+	// Reads always probe at least as far as Replicas, so a replication
+	// policy implies its own retry budget.
 	Retries int
+	// Replicas is how many ring successors a registration is mirrored
+	// to beyond the owner — the -replicas flag. 0 means writes land on
+	// the owner alone.
+	Replicas int
+	// Generation stamps the router's placement ring (default 1);
+	// operators bump it when the peer set changes so placement epochs
+	// are tellable apart on /healthz.
+	Generation uint64
+	// AnswerCacheSize bounds the router's answer cache (entries).
+	// 0 means DefaultAnswerCacheSize; negative disables the cache.
+	AnswerCacheSize int
+	// DrainPeers, when set, is the previous placement ring: a router
+	// in drain mode forwards read misses (404s from the current ring)
+	// to the old ring, so clients keep their answers while
+	// cmd/xpathreshard is still moving documents over.
+	DrainPeers []*Node
 	// Timeout bounds unary backend calls (default DefaultTimeout).
 	// Batch streams are exempt: only their dial and response-header
 	// latency are bounded.
@@ -52,32 +70,50 @@ type Options struct {
 	MaxBody int64
 }
 
-// Router partitions documents across N backend nodes with the same
-// FNV-1a function the in-process store uses for shards
-// (store.KeyShard), so a document's owning node is computed, never
-// looked up. /documents and /query are forwarded to the owner (with
-// replica retry when it is down); /batch fans out scatter-gather
-// style, merging every backend's NDJSON stream into one
-// completion-order stream whose lines are tagged with the global query
-// index, the document, and the node that produced it — per-source
-// provenance in the spirit of annotated query answering. A Router
-// over one peer is a plain reverse proxy: single-node deployments are
-// the degenerate case, not a separate code path.
+// Router fronts a placement Ring of backend nodes: documents are
+// partitioned with the same FNV-1a function the in-process store uses
+// for shards (store.KeyShard), so a document's owning node is
+// computed, never looked up. /documents and /query are forwarded to
+// the owner (with replica retry when it is down) and registrations
+// are mirrored to the owner's ring successors (-replicas), each copy
+// stored at the owner-assigned monotonic version so staleness stays
+// detectable. /batch fans out scatter-gather style with one NDJSON
+// stream per owning node (not per document), merged line by line in
+// completion order, every line tagged with the global job index, the
+// document, and the node that produced it — per-source provenance in
+// the spirit of annotated query answering. Repeated identical queries
+// are answered from an LRU answer cache keyed by (doc, query,
+// version) and invalidated when a registration bumps the document's
+// version. A Router over one peer is a plain reverse proxy:
+// single-node deployments are the degenerate case, not a separate
+// code path.
 type Router struct {
-	peers []*Node
-	opts  Options
+	ring *Ring
+	old  *Ring // drain-mode fallback ring (nil outside migrations)
+	opts Options
 
-	requests atomic.Uint64 // client requests routed
-	retried  atomic.Uint64 // replica retries after an unreachable peer
+	cache *answerCache // nil when disabled
+
+	requests    atomic.Uint64 // client requests routed
+	retried     atomic.Uint64 // replica retries after an unreachable peer
+	replicated  atomic.Uint64 // successful replica mirror writes
+	replicaErrs atomic.Uint64 // failed replica mirror writes
+	drained     atomic.Uint64 // read misses answered by the old ring
 
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-// New creates a Router over the given peers (at least one).
+// New creates a Router over the given peers (at least one). The peers
+// become a canonically ordered placement Ring, so the same peer set
+// yields the same placement regardless of argument order.
 func New(peers []*Node, opts Options) (*Router, error) {
-	if len(peers) == 0 {
-		return nil, errors.New("cluster: router needs at least one peer")
+	if opts.Generation == 0 {
+		opts.Generation = 1
+	}
+	ring, err := NewRing(peers, opts.Generation)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
@@ -85,42 +121,82 @@ func New(peers []*Node, opts Options) (*Router, error) {
 	if opts.HealthInterval <= 0 {
 		opts.HealthInterval = 5 * time.Second
 	}
-	if opts.Retries > len(peers)-1 {
-		opts.Retries = len(peers) - 1
+	if opts.Retries > ring.Len()-1 {
+		opts.Retries = ring.Len() - 1
 	}
 	if opts.Retries < 0 {
 		opts.Retries = 0
 	}
+	if opts.Replicas > ring.Len()-1 {
+		opts.Replicas = ring.Len() - 1
+	}
+	if opts.Replicas < 0 {
+		opts.Replicas = 0
+	}
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = serve.DefaultMaxBodyBytes
 	}
-	return &Router{peers: peers, opts: opts, stop: make(chan struct{})}, nil
+	r := &Router{ring: ring, opts: opts, stop: make(chan struct{})}
+	if len(opts.DrainPeers) > 0 {
+		// The old ring keeps the generation before this one.
+		old, err := NewRing(opts.DrainPeers, opts.Generation-1)
+		if err != nil {
+			return nil, fmt.Errorf("drain ring: %w", err)
+		}
+		r.old = old
+	}
+	if opts.AnswerCacheSize >= 0 {
+		r.cache = newAnswerCache(opts.AnswerCacheSize)
+	}
+	return r, nil
 }
 
-// Peers returns the router's peer nodes in ring order.
-func (r *Router) Peers() []*Node { return r.peers }
+// Ring returns the router's placement ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Peers returns the router's peer nodes in canonical ring order.
+func (r *Router) Peers() []*Node { return r.ring.Peers() }
 
 // Owner returns the node that owns doc under the cluster's
 // partitioning function.
-func (r *Router) Owner(doc string) *Node {
-	return r.peers[store.KeyShard(doc, len(r.peers))]
+func (r *Router) Owner(doc string) *Node { return r.ring.Owner(doc) }
+
+// spread is how far past the owner a request may be served: the
+// larger of the retry and replication budgets, so reads always reach
+// the nodes writes were mirrored to.
+func (r *Router) spread() int {
+	if r.opts.Replicas > r.opts.Retries {
+		return r.opts.Replicas
+	}
+	return r.opts.Retries
 }
 
 // candidates returns the nodes a request for doc may be served by:
-// the owner followed by the next Retries peers in ring order, with
+// the owner followed by the next spread() peers in ring order, with
 // known-unhealthy nodes moved to the back so a live replica is tried
 // before a dead owner (the dead one stays a last resort — health
 // information can be stale).
 func (r *Router) candidates(doc string) []*Node {
-	own := store.KeyShard(doc, len(r.peers))
-	ring := make([]*Node, 0, 1+r.opts.Retries)
-	for i := 0; i <= r.opts.Retries; i++ {
-		ring = append(ring, r.peers[(own+i)%len(r.peers)])
+	return r.slotCandidates(r.ring, r.ring.OwnerIndex(doc))
+}
+
+// slotCandidates is candidates keyed by ring slot — the form the
+// batch path uses, where a whole per-node job group shares one owner
+// slot.
+func (r *Router) slotCandidates(ring *Ring, slot int) []*Node {
+	peers := ring.Peers()
+	spread := r.spread()
+	if spread > len(peers)-1 {
+		spread = len(peers) - 1
 	}
-	sort.SliceStable(ring, func(i, j int) bool {
-		return ring[i].Healthy() && !ring[j].Healthy()
+	out := make([]*Node, 0, 1+spread)
+	for i := 0; i <= spread; i++ {
+		out = append(out, peers[(slot+i)%len(peers)])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Healthy() && !out[j].Healthy()
 	})
-	return ring
+	return out
 }
 
 // Start launches the background health prober; Stop ends it. Probes
@@ -147,7 +223,7 @@ func (r *Router) Stop() { r.stopOnce.Do(func() { close(r.stop) }) }
 // returns how many are healthy.
 func (r *Router) CheckHealth() int {
 	var wg sync.WaitGroup
-	for _, n := range r.peers {
+	for _, n := range r.ring.Peers() {
 		wg.Add(1)
 		go func(n *Node) {
 			defer wg.Done()
@@ -158,7 +234,7 @@ func (r *Router) CheckHealth() int {
 	}
 	wg.Wait()
 	healthy := 0
-	for _, n := range r.peers {
+	for _, n := range r.ring.Peers() {
 		if n.Healthy() {
 			healthy++
 		}
@@ -191,8 +267,8 @@ func statusFor(err error) int {
 // Handler returns the router's HTTP handler. The surface mirrors a
 // single xpathserve node — /documents, /query, /batch, /stats — so
 // clients do not care whether they talk to one node or a fleet; the
-// additions are /health (per-peer view) and the node/doc tags on
-// routed results.
+// additions are /health (per-peer view plus the ring description) and
+// the node/doc tags on routed results.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/documents", r.handleDocuments)
@@ -210,8 +286,9 @@ func (r *Router) Handler() http.Handler {
 	})
 }
 
-// handleDocuments routes document registration, fetch and eviction to
-// the owning node, and merges all peers' listings for the bare GET.
+// handleDocuments routes document registration (with replica
+// mirroring), fetch and eviction, and merges all peers' listings for
+// the bare GET.
 func (r *Router) handleDocuments(w http.ResponseWriter, req *http.Request) {
 	switch req.Method {
 	case http.MethodPost:
@@ -223,23 +300,24 @@ func (r *Router) handleDocuments(w http.ResponseWriter, req *http.Request) {
 			serve.HTTPError(w, http.StatusBadRequest, "both name and xml are required")
 			return
 		}
-		r.routeDoc(w, req, body.Name, false, func(n *Node) (any, error) {
-			nodes, err := n.PutDocument(req.Context(), body.Name, body.XML)
-			if err != nil {
-				return nil, err
-			}
-			return map[string]any{"name": body.Name, "nodes": nodes, "node": n.Name()}, nil
-		})
+		// The explicit-version mirror form is backend-internal (the
+		// replication and reshard write paths); through the router
+		// every registration is a fresh client write. Forwarding a
+		// client-echoed version would let the backends silently skip
+		// it as a "stale mirror" while the client sees a 200.
+		body.Version = 0
+		r.handleDocumentPut(w, req, body)
 	case http.MethodGet:
 		if name := req.URL.Query().Get("name"); name != "" {
-			r.routeDoc(w, req, name, true, func(n *Node) (any, error) {
+			r.routeDoc(w, req, name, func(n *Node) (any, error) {
 				info, err := n.GetDocument(req.Context(), name)
 				if err != nil {
 					return nil, err
 				}
 				return map[string]any{
 					"name": info.Name, "nodes": info.Nodes, "bytes": info.Bytes,
-					"idle_ms": info.IdleMs, "xml": info.XML, "node": n.Name(),
+					"idle_ms": info.IdleMs, "version": info.Version,
+					"xml": info.XML, "node": n.Name(),
 				}, nil
 			})
 			return
@@ -251,34 +329,230 @@ func (r *Router) handleDocuments(w http.ResponseWriter, req *http.Request) {
 			serve.HTTPError(w, http.StatusBadRequest, "name is required")
 			return
 		}
-		r.routeDoc(w, req, name, true, func(n *Node) (any, error) {
-			if err := n.DeleteDocument(req.Context(), name); err != nil {
-				return nil, err
-			}
-			return map[string]any{"deleted": name, "node": n.Name()}, nil
-		})
+		r.handleDocumentDelete(w, req, name)
 	default:
 		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST a {name, xml} object, GET to list (?name= for one), DELETE ?name= to evict")
 	}
 }
 
-// routeDoc runs one owner-routed call with replica retry: the
-// candidates are tried in order and an unreachable peer always falls
-// through to the next. readFallback additionally falls through when a
-// live candidate answers "not found" — the read half of replica
-// failover: a document registered on a replica while its owner was
-// down stays readable (and deletable) after the owner recovers,
-// because reads probe the rest of the retry ring before reporting the
-// 404. Writes must not do this (registration retried past a live
-// owner would fork the document), so POST keeps readFallback off.
-func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, readFallback bool, call func(*Node) (any, error)) {
+// handleDocumentPut is the write path: the document lands on its
+// owner (failing over along the ring when the owner is unreachable),
+// then the owner-assigned version is mirrored to the next Replicas
+// ring successors so -replica-retry reads hit a warm copy. Replica
+// failures degrade the write, never fail it: the primary copy is
+// durable, the response lists which mirrors took, and the health
+// prober plus a later reshard reconcile the rest.
+func (r *Router) handleDocumentPut(w http.ResponseWriter, req *http.Request, body serve.DocumentRequest) {
 	var lastErr error
-	for i, n := range r.candidates(doc) {
+	// Writes walk the ring in placement order — owner first, NOT
+	// health-sorted like reads: a stale "unhealthy" mark on a live
+	// owner must not divert the write to a successor, where (without
+	// replication) it would be invisible to owner-first reads. The
+	// owner is only passed over on an actual unreachable error below.
+	for i, n := range r.ring.Replicas(body.Name, r.spread()) {
 		if i > 0 {
+			r.retried.Add(1)
+		}
+		nodes, ver, err := n.PutDocumentAt(req.Context(), body.Name, body.XML, body.Version)
+		if err == nil {
+			out := map[string]any{"name": body.Name, "nodes": nodes, "node": n.Name()}
+			if r.opts.Replicas > 0 {
+				var mirrored []string
+				var errs map[string]string
+				ver, mirrored, errs = r.replicate(req.Context(), body.Name, body.XML, ver, n)
+				out["replicas"] = mirrored
+				if len(errs) > 0 {
+					out["replica_errors"] = errs
+				}
+			}
+			out["version"] = ver
+			if r.cache != nil {
+				r.cache.bump(body.Name, ver)
+			}
+			serve.WriteJSON(w, http.StatusOK, out)
+			return
+		}
+		if lastErr == nil || !errors.Is(err, ErrUnavailable) {
+			lastErr = err
+		}
+		if req.Context().Err() != nil {
+			break
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			// A live owner's application answer (parse error, full
+			// store) must not be retried past it: registration retried
+			// past a live owner would fork the document.
+			break
+		}
+	}
+	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+}
+
+// replicate mirrors a registration at its owner-assigned version to
+// the document's ring successors (skipping primary, the node the
+// write already landed on). Mirrors run concurrently; it returns the
+// version every copy converged on, the nodes that took the copy, and
+// the ones that failed.
+//
+// Versions are assigned from each node's own store counter, so a
+// replica that took a failover write while the primary was down may
+// hold the document at a version ABOVE what the primary just
+// assigned — its stale-write guard would then pin the old content
+// forever. A mirror result reporting a higher resident version
+// triggers one reconciliation round: the registration is re-written
+// to the primary above the highest resident version and re-mirrored,
+// so every copy converges on the new content at a version that
+// supersedes the divergent one.
+func (r *Router) replicate(ctx context.Context, name, xml string, ver uint64, primary *Node) (uint64, []string, map[string]string) {
+	round := func(ver uint64) ([]string, map[string]string, uint64) {
+		var mu sync.Mutex
+		mirrored := []string{}
+		errs := map[string]string{}
+		var maxResident uint64
+		var wg sync.WaitGroup
+		for _, n := range r.ring.Replicas(name, r.opts.Replicas) {
+			if n == primary {
+				continue
+			}
+			wg.Add(1)
+			go func(n *Node) {
+				defer wg.Done()
+				_, rv, err := n.PutDocumentAt(ctx, name, xml, ver)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					r.replicaErrs.Add(1)
+					errs[n.Name()] = err.Error()
+					return
+				}
+				if rv > ver {
+					// Stale-write skip: the replica kept its resident
+					// copy at a higher version.
+					if rv > maxResident {
+						maxResident = rv
+					}
+					return
+				}
+				r.replicated.Add(1)
+				mirrored = append(mirrored, n.Name())
+			}(n)
+		}
+		wg.Wait()
+		sort.Strings(mirrored)
+		return mirrored, errs, maxResident
+	}
+	mirrored, errs, maxResident := round(ver)
+	if maxResident > ver {
+		ver = maxResident + 1
+		if _, rv, err := primary.PutDocumentAt(ctx, name, xml, ver); err == nil && rv >= ver {
+			ver = rv
+			mirrored, errs, _ = round(ver)
+		} else if err != nil {
+			errs[primary.Name()] = "reconcile: " + err.Error()
+		}
+	}
+	return ver, mirrored, errs
+}
+
+// handleDocumentDelete evicts a document from every node that may
+// hold it — the owner, the replica successors within spread(), and
+// (in drain mode) the same span of the old ring. Any successful
+// removal answers 200; a document nobody held is a 404.
+func (r *Router) handleDocumentDelete(w http.ResponseWriter, req *http.Request, name string) {
+	targets := r.ring.Replicas(name, r.spread())
+	if r.old != nil {
+		for _, n := range r.old.Replicas(name, r.spread()) {
+			targets = append(targets, n)
+		}
+	}
+	seen := map[string]bool{}
+	deleted := []string{}
+	nodeErrs := map[string]string{}
+	var lastErr error
+	for _, n := range targets {
+		if seen[n.URL()] {
+			continue
+		}
+		seen[n.URL()] = true
+		err := n.DeleteDocument(req.Context(), name)
+		switch {
+		case err == nil:
+			deleted = append(deleted, n.Name())
+		case errors.Is(err, ErrNotFound):
+			// Absence on a replica is fine.
+		default:
+			// An unreachable holder may still have its copy: surface
+			// it, so the client knows the delete is partial and the
+			// document can resurface when that node recovers (a
+			// reshard or a repeated DELETE reconciles it).
+			nodeErrs[n.Name()] = err.Error()
+			lastErr = err
+		}
+		if req.Context().Err() != nil {
+			break
+		}
+	}
+	if len(deleted) > 0 {
+		if r.cache != nil {
+			r.cache.forget(name)
+		}
+		sort.Strings(deleted)
+		out := map[string]any{"deleted": name, "nodes": deleted}
+		if len(nodeErrs) > 0 {
+			out["node_errors"] = nodeErrs
+			out["partial"] = true
+		}
+		serve.WriteJSON(w, http.StatusOK, out)
+		return
+	}
+	if lastErr == nil {
+		serve.HTTPError(w, http.StatusNotFound, "unknown document %q", name)
+		return
+	}
+	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+}
+
+// routeDoc runs one owner-routed read with replica retry: the
+// candidates are tried in order, an unreachable peer always falls
+// through to the next, and a live candidate's "not found" also falls
+// through — the read half of replica failover: a document registered
+// on a replica while its owner was down stays readable after the
+// owner recovers, because reads probe the rest of the retry ring
+// before reporting the 404. In drain mode a miss additionally probes
+// the old ring before giving up.
+func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, call func(*Node) (any, error)) {
+	type cand struct {
+		n       *Node
+		drained bool
+	}
+	var cands []cand
+	for _, n := range r.candidates(doc) {
+		cands = append(cands, cand{n: n})
+	}
+	if r.old != nil {
+		for _, n := range r.slotCandidates(r.old, r.old.OwnerIndex(doc)) {
+			cands = append(cands, cand{n: n, drained: true})
+		}
+	}
+	var lastErr error
+	seen := map[string]bool{}
+	for _, c := range cands {
+		n := c.n
+		if seen[n.URL()] {
+			continue
+		}
+		seen[n.URL()] = true
+		if lastErr != nil {
 			r.retried.Add(1)
 		}
 		out, err := call(n)
 		if err == nil {
+			if c.drained {
+				r.drained.Add(1)
+				if m, ok := out.(map[string]any); ok {
+					m["drained"] = true
+				}
+			}
 			serve.WriteJSON(w, http.StatusOK, out)
 			return
 		}
@@ -290,7 +564,7 @@ func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, 
 		if req.Context().Err() != nil {
 			break
 		}
-		if errors.Is(err, ErrUnavailable) || (readFallback && errors.Is(err, ErrNotFound)) {
+		if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotFound) {
 			continue
 		}
 		break
@@ -299,7 +573,8 @@ func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, 
 }
 
 // handleDocumentList merges every peer's listing; entries are tagged
-// with the node that holds them, and unreachable peers are reported
+// with the node that holds them (a replicated document legitimately
+// appears once per holder), and unreachable peers are reported
 // alongside the merged list instead of failing it.
 func (r *Router) handleDocumentList(w http.ResponseWriter, req *http.Request) {
 	type taggedDoc struct {
@@ -310,7 +585,7 @@ func (r *Router) handleDocumentList(w http.ResponseWriter, req *http.Request) {
 	docs := []taggedDoc{}
 	nodeErrs := map[string]string{}
 	var wg sync.WaitGroup
-	for _, n := range r.peers {
+	for _, n := range r.ring.Peers() {
 		wg.Add(1)
 		go func(n *Node) {
 			defer wg.Done()
@@ -327,17 +602,34 @@ func (r *Router) handleDocumentList(w http.ResponseWriter, req *http.Request) {
 		}(n)
 	}
 	wg.Wait()
-	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	sort.Slice(docs, func(i, j int) bool {
+		if docs[i].Name != docs[j].Name {
+			return docs[i].Name < docs[j].Name
+		}
+		return docs[i].Node < docs[j].Node
+	})
 	out := map[string]any{"documents": docs}
 	if len(nodeErrs) > 0 {
 		out["node_errors"] = nodeErrs
+		out["degraded"] = true
 	}
 	serve.WriteJSON(w, http.StatusOK, out)
 }
 
+// respVersion reads the document version a backend response carries.
+func respVersion(resp map[string]any) uint64 {
+	if f, ok := resp["version"].(float64); ok && f > 0 {
+		return uint64(f)
+	}
+	return 0
+}
+
 // handleQuery forwards one query to the owning node (with replica
-// retry) and relays the backend's status and body, tagged with the
-// node that answered.
+// retry and, in drain mode, old-ring fallback on a miss) and relays
+// the backend's status and body, tagged with the node that answered.
+// Successful answers are cached by (doc, query, version); repeated
+// identical queries are served from the cache until a registration
+// bumps the document's version.
 func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	var body serve.QueryRequest
 	switch req.Method {
@@ -356,9 +648,42 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		serve.HTTPError(w, http.StatusBadRequest, "both doc and query are required")
 		return
 	}
+	if r.cache != nil {
+		if cached, ok := r.cache.get(body.Doc, body.Query); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Router-Cache", "hit")
+			w.WriteHeader(http.StatusOK)
+			w.Write(cached)
+			return
+		}
+	}
+	notFound, ok := r.forwardQuery(w, req, body, r.ring, false)
+	if ok {
+		return
+	}
+	if notFound != nil && r.old != nil {
+		// Drain mode: the document may not have migrated yet.
+		if _, ok := r.forwardQuery(w, req, body, r.old, true); ok {
+			r.drained.Add(1)
+			return
+		}
+	}
+	if notFound != nil {
+		serve.WriteJSON(w, http.StatusNotFound, notFound)
+	}
+}
+
+// forwardQuery tries a query against one ring's candidates. It
+// reports whether a response was written; when every live candidate
+// answered "unknown document" it instead returns the first such
+// response for the caller to relay (or to try another ring first). On
+// a transport dead end it writes the typed error itself — except on
+// the drain ring, whose unreachability must not mask the current
+// ring's answer: there it reports false and writes nothing.
+func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request, body serve.QueryRequest, ring *Ring, drainRing bool) (map[string]any, bool) {
 	var lastErr error
-	var notFound map[string]any // first live candidate's 404, relayed if nobody has the doc
-	for i, n := range r.candidates(body.Doc) {
+	var notFound map[string]any
+	for i, n := range r.slotCandidates(ring, ring.OwnerIndex(body.Doc)) {
 		if i > 0 {
 			r.retried.Add(1)
 		}
@@ -373,8 +698,25 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 				}
 				continue
 			}
+			if drainRing {
+				resp["drained"] = true
+			} else if status == http.StatusOK && r.cache != nil {
+				if ver := respVersion(resp); ver > 0 {
+					// Marshal once: the same rendered bytes fill the
+					// cache and the wire (this matches WriteJSON's
+					// indented-encoder output byte for byte).
+					if bodyBytes, merr := json.MarshalIndent(resp, "", "  "); merr == nil {
+						bodyBytes = append(bodyBytes, '\n')
+						r.cache.put(body.Doc, body.Query, ver, bodyBytes)
+						w.Header().Set("Content-Type", "application/json")
+						w.WriteHeader(status)
+						w.Write(bodyBytes)
+						return nil, true
+					}
+				}
+			}
 			serve.WriteJSON(w, status, resp)
-			return
+			return nil, true
 		}
 		lastErr = err
 		if !errors.Is(err, ErrUnavailable) || req.Context().Err() != nil {
@@ -382,10 +724,13 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	if notFound != nil {
-		serve.WriteJSON(w, http.StatusNotFound, notFound)
-		return
+		return notFound, false
+	}
+	if drainRing {
+		return nil, false // an unreachable old ring is not this query's error
 	}
 	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+	return nil, true
 }
 
 // routerBatchRequest is the router's /batch body: either one doc (the
@@ -399,13 +744,18 @@ type routerBatchRequest struct {
 	Queries []string `json:"queries"`
 }
 
-// handleBatch is the scatter-gather path: one backend /batch stream
-// per requested document, all tied to the client's request context,
-// merged line by line in completion order. Every line carries the
-// global job index, the document, and the producing node; a document
-// whose node cannot be reached (after replica retry) yields one typed
-// error line per job instead of stalling the stream, so exactly one
-// line per job index always arrives.
+// handleBatch is the scatter-gather path: jobs are grouped by owning
+// node and each node gets ONE backend /batch stream carrying all of
+// its jobs (M documents on N nodes opens at most N streams, not M),
+// all tied to the client's request context and merged line by line in
+// completion order. Every line carries the global job index, the
+// document, and the producing node. A node that cannot be reached
+// before its stream starts fails over along the ring; a stream that
+// dies mid-flight yields one typed error line per unfinished job, so
+// exactly one line per job index always arrives. Jobs a live node
+// reports "missing" (a document that failed over or hasn't migrated)
+// are re-dispatched to the next candidate instead of erroring
+// immediately.
 func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		serve.HTTPError(w, http.StatusMethodNotAllowed, "POST a {doc|docs, queries} object")
@@ -423,6 +773,18 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		serve.HTTPError(w, http.StatusBadRequest, "doc (or docs) and queries are required")
 		return
 	}
+	jobs := make([]serve.BatchJob, 0, len(docs)*len(body.Queries))
+	for _, doc := range docs {
+		for _, q := range body.Queries {
+			jobs = append(jobs, serve.BatchJob{Doc: doc, Query: q})
+		}
+	}
+	groups := map[int][]int{} // owner ring slot -> global job indices
+	for gi, j := range jobs {
+		slot := r.ring.OwnerIndex(j.Doc)
+		groups[slot] = append(groups[slot], gi)
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -443,78 +805,130 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 
+	// In drain mode, jobs the whole new-ring candidate chain reports
+	// missing are re-grouped under the old ring's placement and tried
+	// there — /batch keeps answering for un-migrated documents exactly
+	// like /query does.
+	var drainFallback func([]int)
+	if r.old != nil {
+		drainWrite := func(line map[string]any) {
+			line["drained"] = true
+			writeLine(line)
+		}
+		drainFallback = func(indices []int) {
+			oldGroups := map[int][]int{}
+			for _, gi := range indices {
+				slot := r.old.OwnerIndex(jobs[gi].Doc)
+				oldGroups[slot] = append(oldGroups[slot], gi)
+			}
+			for slot, oidx := range oldGroups {
+				r.streamGroup(ctx, r.slotCandidates(r.old, slot), 0, oidx, jobs, drainWrite, nil)
+			}
+		}
+	}
 	var wg sync.WaitGroup
-	for di, doc := range docs {
+	for slot, indices := range groups {
 		wg.Add(1)
-		go func(doc string, base int) {
+		go func(slot int, indices []int) {
 			defer wg.Done()
-			r.streamDoc(ctx, doc, base, body.Queries, writeLine)
-		}(doc, di*len(body.Queries))
+			r.streamGroup(ctx, r.slotCandidates(r.ring, slot), 0, indices, jobs, writeLine, drainFallback)
+		}(slot, indices)
 	}
 	wg.Wait()
 }
 
-// streamDoc relays one document's backend batch stream, re-tagging
-// each line with its global index, the document, and the node.
-// Replica retry applies only before the first line is on the wire;
-// after a mid-stream failure, the queries that already streamed are
-// not replayed (the client has their lines) and the rest become error
-// lines, so the merged stream still carries exactly one line per job.
-func (r *Router) streamDoc(ctx context.Context, doc string, base int, queries []string, writeLine func(map[string]any)) {
-	emitted := make([]bool, len(queries))
-	var lastErr error
-	var lastNode string
-	for i, n := range r.candidates(doc) {
-		if i > 0 {
-			r.retried.Add(1)
-		}
-		streamed := false
-		err := n.StreamBatch(ctx, doc, queries, func(line map[string]any) error {
-			streamed = true
-			if li, ok := line["index"].(float64); ok {
-				local := int(li)
-				if local >= 0 && local < len(emitted) {
-					emitted[local] = true
-				}
-				line["index"] = base + local
-			}
-			line["doc"] = doc
-			line["node"] = n.Name()
-			writeLine(line)
+// streamGroup relays one per-node job group through the candidate at
+// the given attempt, re-tagging each line with its global index, its
+// document, and the node. Failover applies only before the first line
+// is on the wire; after a mid-stream failure the jobs that already
+// streamed are not replayed (the client has their lines) and the rest
+// become error lines, so the merged stream still carries exactly one
+// line per job. Jobs flagged "missing" by a live node are collected
+// and re-dispatched to the next candidate — the grouped-stream form
+// of per-document read fallback — and jobs still missing after the
+// last candidate go to exhausted (the drain-ring fallback) when one
+// is set.
+func (r *Router) streamGroup(ctx context.Context, cands []*Node, attempt int, indices []int, jobs []serve.BatchJob, writeLine func(map[string]any), exhausted func([]int)) {
+	n := cands[attempt]
+	if attempt > 0 {
+		r.retried.Add(1)
+	}
+	sub := make([]serve.BatchJob, len(indices))
+	for k, gi := range indices {
+		sub[k] = jobs[gi]
+	}
+	emitted := make([]bool, len(indices))
+	var missing []int // local positions to re-dispatch past this candidate
+	err := n.StreamJobs(ctx, sub, func(line map[string]any) error {
+		li, ok := line["index"].(float64)
+		if !ok {
 			return nil
-		})
-		if err == nil {
-			return
 		}
-		lastErr, lastNode = err, n.Name()
+		local := int(li)
+		if local < 0 || local >= len(indices) {
+			return nil
+		}
+		emitted[local] = true
+		if m, _ := line["missing"].(bool); m && (attempt+1 < len(cands) || exhausted != nil) {
+			missing = append(missing, local)
+			return nil
+		}
+		line["index"] = indices[local]
+		if d, _ := line["doc"].(string); d == "" {
+			line["doc"] = sub[local].Doc
+		}
+		line["node"] = n.Name()
+		writeLine(line)
+		return nil
+	})
+	if err != nil {
 		if ctx.Err() != nil {
 			return // client gone; no error lines into a dead stream
 		}
-		// With nothing on the wire yet, an unreachable peer is the
-		// replica-retry case and a live peer's "unknown document" is
-		// the read-fallback case (the doc may have failed over to a
-		// replica); anything else — or a stream that already delivered
-		// lines — ends the attempts.
-		if streamed || !(errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotFound)) {
-			break
+		if attempt+1 < len(cands) {
+			streamed := false
+			for _, e := range emitted {
+				streamed = streamed || e
+			}
+			if !streamed && (errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNotFound)) {
+				// Nothing on the wire yet: the whole group fails over.
+				r.streamGroup(ctx, cands, attempt+1, indices, jobs, writeLine, exhausted)
+				return
+			}
+		}
+		for local, done := range emitted {
+			if done {
+				continue
+			}
+			writeLine(map[string]any{
+				"index": indices[local],
+				"doc":   sub[local].Doc,
+				"query": sub[local].Query,
+				"node":  n.Name(),
+				"error": err.Error(),
+			})
 		}
 	}
-	for j := range queries {
-		if emitted[j] {
-			continue
+	if len(missing) > 0 {
+		next := make([]int, len(missing))
+		for k, local := range missing {
+			next[k] = indices[local]
 		}
-		writeLine(map[string]any{
-			"index": base + j,
-			"doc":   doc,
-			"node":  lastNode,
-			"query": queries[j],
-			"error": lastErr.Error(),
-		})
+		if attempt+1 < len(cands) {
+			r.streamGroup(ctx, cands, attempt+1, next, jobs, writeLine, exhausted)
+		} else {
+			exhausted(next) // non-nil: missing is only collected at the
+			// last candidate when a fallback exists
+		}
 	}
 }
 
 // handleStats aggregates the fleet: each peer's raw /stats under its
-// node name, the summed store fill, and the router's own counters.
+// node name, the summed store fill, and the router's own counters —
+// placement generation, replication and retry totals, and the answer
+// cache's hit/miss/invalidation counts. A down peer degrades the
+// aggregation (its entry carries the error and "degraded" flips true)
+// instead of failing it.
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET only")
@@ -525,7 +939,7 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	var total store.Stats
 	healthy := 0
 	var wg sync.WaitGroup
-	for _, n := range r.peers {
+	for _, n := range r.ring.Peers() {
 		wg.Add(1)
 		go func(n *Node) {
 			defer wg.Done()
@@ -546,13 +960,25 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		}(n)
 	}
 	wg.Wait()
+	router := map[string]any{
+		"peers":          r.ring.Len(),
+		"healthy":        healthy,
+		"generation":     r.ring.Generation(),
+		"replicas":       r.opts.Replicas,
+		"requests":       r.requests.Load(),
+		"retries":        r.retried.Load(),
+		"replicated":     r.replicated.Load(),
+		"replica_errors": r.replicaErrs.Load(),
+	}
+	if r.old != nil {
+		router["drained"] = r.drained.Load()
+	}
+	if r.cache != nil {
+		router["answer_cache"] = r.cache.stats()
+	}
 	serve.WriteJSON(w, http.StatusOK, map[string]any{
-		"router": map[string]any{
-			"peers":    len(r.peers),
-			"healthy":  healthy,
-			"requests": r.requests.Load(),
-			"retries":  r.retried.Load(),
-		},
+		"router":      router,
+		"degraded":    healthy < r.ring.Len(),
 		"store_total": total,
 		"nodes":       nodes,
 	})
@@ -560,9 +986,9 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 
 // handleHealth reports the router's view of the fleet from the last
 // probes (run by Start's background loop and updated by every routed
-// call); it answers 200 as long as any peer is healthy, so a load
-// balancer in front of several routers drains one only when its whole
-// fleet is gone.
+// call) plus the placement ring's description; it answers 200 as long
+// as any peer is healthy, so a load balancer in front of several
+// routers drains one only when its whole fleet is gone.
 func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		serve.HTTPError(w, http.StatusMethodNotAllowed, "GET only")
@@ -575,9 +1001,10 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 		LastError string `json:"last_error,omitempty"`
 		LastCheck string `json:"last_check,omitempty"`
 	}
-	peers := make([]peerHealth, len(r.peers))
+	ringPeers := r.ring.Peers()
+	peers := make([]peerHealth, len(ringPeers))
 	healthy := 0
-	for i, n := range r.peers {
+	for i, n := range ringPeers {
 		ph := peerHealth{Node: n.Name(), URL: n.URL(), Healthy: n.Healthy(), LastError: n.LastErr()}
 		if lc := n.LastCheck(); !lc.IsZero() {
 			ph.LastCheck = lc.UTC().Format(time.RFC3339Nano)
@@ -591,5 +1018,14 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 	if healthy == 0 {
 		status = http.StatusServiceUnavailable
 	}
-	serve.WriteJSON(w, status, map[string]any{"ok": healthy > 0, "healthy": healthy, "peers": peers})
+	out := map[string]any{
+		"ok":      healthy > 0,
+		"healthy": healthy,
+		"peers":   peers,
+		"ring":    r.ring.Describe(),
+	}
+	if r.old != nil {
+		out["drain_ring"] = r.old.Describe()
+	}
+	serve.WriteJSON(w, status, out)
 }

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,7 +18,10 @@ import (
 	"repro/internal/workload"
 )
 
-// newCluster boots n real xpathserve backends behind a router.
+// newCluster boots n real xpathserve backends behind a router. The
+// returned backends are in ring order (the router sorts peers into a
+// canonical ring), so backends[i] is the peer store.KeyShard routes
+// slot i to.
 func newCluster(t *testing.T, n int, opts Options, cfg store.Config) (*Router, *httptest.Server, []*backend) {
 	t.Helper()
 	backends := make([]*backend, n)
@@ -29,6 +34,13 @@ func newCluster(t *testing.T, n int, opts Options, cfg store.Config) (*Router, *
 	if err != nil {
 		t.Fatal(err)
 	}
+	slot := map[string]int{}
+	for i, n := range router.Ring().Peers() {
+		slot[n.URL()] = i
+	}
+	sort.Slice(backends, func(i, j int) bool {
+		return slot[backends[i].node.URL()] < slot[backends[j].node.URL()]
+	})
 	ts := httptest.NewServer(router.Handler())
 	t.Cleanup(ts.Close)
 	return router, ts, backends
@@ -252,10 +264,10 @@ func TestBatchStreamsAcrossNodesBeforeCompletion(t *testing.T) {
 	_, ts, backends := newCluster(t, 2, Options{}, store.Config{})
 	owned := namesOwnedBy(2, 1)
 	slowDoc, fastDoc := owned[0][0], owned[1][0]
-	if _, err := backends[0].srv.AddDocument(slowDoc, workload.Doc(1500).XMLString()); err != nil {
+	if _, _, err := backends[0].srv.AddDocument(slowDoc, workload.Doc(1500).XMLString()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := backends[1].srv.AddDocument(fastDoc, "<a><b/></a>"); err != nil {
+	if _, _, err := backends[1].srv.AddDocument(fastDoc, "<a><b/></a>"); err != nil {
 		t.Fatal(err)
 	}
 	buf, _ := json.Marshal(map[string]any{"docs": []string{slowDoc, fastDoc}, "queries": []string{slowQuery}})
@@ -294,7 +306,7 @@ func TestBatchCancelMidStream(t *testing.T) {
 	// observable; cancellation cuts the test short well before that.
 	big := workload.Doc(30000).XMLString()
 	for i, names := range owned {
-		if _, err := backends[i].srv.AddDocument(names[0], big); err != nil {
+		if _, _, err := backends[i].srv.AddDocument(names[0], big); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -420,7 +432,7 @@ func TestReadFallbackAfterOwnerRecovers(t *testing.T) {
 	_, _, backends := newCluster(t, 2, Options{}, store.Config{})
 	owned := namesOwnedBy(2, 1)
 	doc := owned[1][0] // owned by backend 1, registered only on backend 0
-	if _, err := backends[0].srv.AddDocument(doc, "<a><b/></a>"); err != nil {
+	if _, _, err := backends[0].srv.AddDocument(doc, "<a><b/></a>"); err != nil {
 		t.Fatal(err)
 	}
 	retryRouter, err := New([]*Node{backends[0].node, backends[1].node}, Options{Retries: 1})
@@ -527,5 +539,515 @@ func TestSinglePeerDegenerate(t *testing.T) {
 	defer bresp.Body.Close()
 	if lines := readNDJSON(t, bresp); len(lines) != 2 {
 		t.Fatalf("1-peer batch returned %d lines, want 2", len(lines))
+	}
+}
+
+// TestWriteReplication drives the -replicas path end to end: a
+// registration through the router lands on the owner AND its ring
+// successor at the same version, and killing the owner leaves /query
+// and /batch for that document answering correctly from the replica.
+func TestWriteReplication(t *testing.T) {
+	router, ts, backends := newCluster(t, 2, Options{Replicas: 1, AnswerCacheSize: -1, Timeout: 2 * time.Second}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	doc := owned[0][0] // owned by backends[0]; replica on backends[1]
+	resp, out := postJSON(t, ts.URL+"/documents", map[string]string{"name": doc, "xml": "<a><b/><b/></a>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %v", resp.StatusCode, out)
+	}
+	if out["node"] != backends[0].node.Name() {
+		t.Fatalf("registration landed on %v, want owner %s", out["node"], backends[0].node.Name())
+	}
+	reps, _ := out["replicas"].([]any)
+	if len(reps) != 1 || reps[0] != backends[1].node.Name() {
+		t.Fatalf("replicas = %v, want [%s]", out["replicas"], backends[1].node.Name())
+	}
+	ver := out["version"].(float64)
+	if ver <= 0 {
+		t.Fatalf("registration carried version %v, want > 0", ver)
+	}
+	// Both backends hold the document at the owner-assigned version.
+	ctx := context.Background()
+	for i, b := range backends {
+		info, err := b.node.GetDocument(ctx, doc)
+		if err != nil {
+			t.Fatalf("backend %d does not hold %s: %v", i, doc, err)
+		}
+		if info.Version != uint64(ver) {
+			t.Fatalf("backend %d holds %s at version %d, want %v", i, doc, info.Version, ver)
+		}
+	}
+
+	backends[0].ts.Close() // the owner goes down
+
+	resp, out = getJSON(t, ts.URL+"/query?doc="+doc+"&q=count(//b)")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query with owner down = %d %v, want the replica's answer", resp.StatusCode, out)
+	}
+	if out["node"] != backends[1].node.Name() {
+		t.Fatalf("answered by %v, want replica %s", out["node"], backends[1].node.Name())
+	}
+	if val := out["value"].(map[string]any); val["number"] != 2.0 {
+		t.Fatalf("replica answer = %v, want 2", val["number"])
+	}
+	buf, _ := json.Marshal(map[string]any{"doc": doc, "queries": []string{"count(//b)"}})
+	bresp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	lines := readNDJSON(t, bresp)
+	if len(lines) != 1 || lines[0]["value"] == nil {
+		t.Fatalf("batch with owner down = %v, want one result line", lines)
+	}
+	if lines[0]["node"] != backends[1].node.Name() {
+		t.Fatalf("batch line from %v, want replica %s", lines[0]["node"], backends[1].node.Name())
+	}
+	_ = router
+}
+
+// TestReplicatedDelete checks that DELETE through a replicating
+// router evicts every copy, not just the owner's.
+func TestReplicatedDelete(t *testing.T) {
+	_, ts, backends := newCluster(t, 2, Options{Replicas: 1}, store.Config{})
+	doc := namesOwnedBy(2, 1)[0][0]
+	if resp, _ := postJSON(t, ts.URL+"/documents", map[string]string{"name": doc, "xml": "<a/>"}); resp.StatusCode != 200 {
+		t.Fatal("registration failed")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/documents?name="+doc, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(dresp.Body).Decode(&out)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d %v", dresp.StatusCode, out)
+	}
+	nodes, _ := out["nodes"].([]any)
+	if len(nodes) != 2 {
+		t.Fatalf("delete removed from %v, want both holders", out["nodes"])
+	}
+	for i, b := range backends {
+		if _, ok := b.srv.Session(doc); ok {
+			t.Fatalf("backend %d still holds %s after replicated delete", i, doc)
+		}
+	}
+}
+
+// TestAnswerCache pins the router answer cache: a repeated identical
+// query is served from the cache (visible in the X-Router-Cache
+// header and /stats counters), and re-registering the document bumps
+// its version, invalidates the entry, and the next query sees the new
+// content — never a stale answer.
+func TestAnswerCache(t *testing.T) {
+	_, ts, _ := newCluster(t, 2, Options{}, store.Config{})
+	doc := namesOwnedBy(2, 1)[0][0]
+	if resp, _ := postJSON(t, ts.URL+"/documents", map[string]string{"name": doc, "xml": "<a><b/><b/></a>"}); resp.StatusCode != 200 {
+		t.Fatal("registration failed")
+	}
+	get := func() (*http.Response, map[string]any) {
+		return getJSON(t, ts.URL+"/query?doc="+doc+"&q=count(//b)")
+	}
+	resp, out := get()
+	if resp.StatusCode != 200 || out["value"].(map[string]any)["number"] != 2.0 {
+		t.Fatalf("first query = %d %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("X-Router-Cache") == "hit" {
+		t.Fatal("first query claimed a cache hit")
+	}
+	resp, out = get()
+	if resp.Header.Get("X-Router-Cache") != "hit" {
+		t.Fatal("repeated identical query was not served from the cache")
+	}
+	if out["value"].(map[string]any)["number"] != 2.0 {
+		t.Fatalf("cached answer = %v, want 2", out)
+	}
+	_, stats := getJSON(t, ts.URL+"/stats")
+	cacheStats := stats["router"].(map[string]any)["answer_cache"].(map[string]any)
+	if cacheStats["hits"].(float64) < 1 || cacheStats["misses"].(float64) < 1 {
+		t.Fatalf("answer_cache stats = %v, want at least one hit and one miss", cacheStats)
+	}
+
+	// Replacing the document invalidates: the next query must see the
+	// new content, and /stats counts the invalidation.
+	if resp, _ := postJSON(t, ts.URL+"/documents", map[string]string{"name": doc, "xml": "<a><b/><b/><b/></a>"}); resp.StatusCode != 200 {
+		t.Fatal("replacement failed")
+	}
+	resp, out = get()
+	if resp.Header.Get("X-Router-Cache") == "hit" {
+		t.Fatal("query after replacement was served from the stale cache")
+	}
+	if out["value"].(map[string]any)["number"] != 3.0 {
+		t.Fatalf("post-replacement answer = %v, want 3 (stale cache?)", out)
+	}
+	_, stats = getJSON(t, ts.URL+"/stats")
+	cacheStats = stats["router"].(map[string]any)["answer_cache"].(map[string]any)
+	if cacheStats["invalidations"].(float64) < 1 {
+		t.Fatalf("answer_cache stats = %v, want at least one invalidation", cacheStats)
+	}
+}
+
+// TestGroupedBatchOneStreamPerNode is the connection-churn acceptance
+// check: a routed /batch over many documents opens at most one
+// backend /batch stream per owning node, not one per document.
+func TestGroupedBatchOneStreamPerNode(t *testing.T) {
+	var mu sync.Mutex
+	batchCalls := map[string]int{}
+	_, ts, backends := newCluster(t, 2, Options{}, store.Config{})
+	// Wrap each backend handler to count /batch requests.
+	for i, b := range backends {
+		name := fmt.Sprintf("backend-%d", i)
+		inner := b.srv.Handler()
+		b.ts.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/batch" {
+				mu.Lock()
+				batchCalls[name]++
+				mu.Unlock()
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	owned := namesOwnedBy(2, 3)
+	var docs []string
+	for i, names := range owned {
+		for _, name := range names {
+			if _, _, err := backends[i].srv.AddDocument(name, "<a><b/></a>"); err != nil {
+				t.Fatal(err)
+			}
+			docs = append(docs, name)
+		}
+	}
+	buf, _ := json.Marshal(map[string]any{"docs": docs, "queries": []string{"count(//b)", "1 = 1"}})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := readNDJSON(t, resp)
+	if want := len(docs) * 2; len(lines) != want {
+		t.Fatalf("got %d lines, want %d", len(lines), want)
+	}
+	seen := map[int]bool{}
+	for _, line := range lines {
+		if line["error"] != nil {
+			t.Fatalf("unexpected error line: %v", line)
+		}
+		seen[int(line["index"].(float64))] = true
+	}
+	if len(seen) != len(docs)*2 {
+		t.Fatalf("distinct indices = %d, want %d", len(seen), len(docs)*2)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for name, calls := range batchCalls {
+		if calls != 1 {
+			t.Fatalf("%s served %d /batch streams for one routed batch, want 1 (calls: %v)", name, calls, batchCalls)
+		}
+	}
+	if len(batchCalls) != 2 {
+		t.Fatalf("batch streams reached %d node(s), want 2: %v", len(batchCalls), batchCalls)
+	}
+}
+
+// TestBatchPeerDiesMidStream kills a backend while its grouped batch
+// stream is mid-flight: every job must still yield exactly one NDJSON
+// line, with the dead node's unfinished jobs marked as errors and the
+// other node's results intact.
+func TestBatchPeerDiesMidStream(t *testing.T) {
+	_, ts, backends := newCluster(t, 2, Options{Timeout: 5 * time.Second}, store.Config{})
+	owned := namesOwnedBy(2, 1)
+	victimDoc, liveDoc := owned[0][0], owned[1][0]
+	// The victim's group carries a fast job and a slow one; the fast
+	// line proves the stream is live before the kill, the slow job is
+	// still in flight when the connection dies.
+	if _, _, err := backends[0].srv.AddDocument(victimDoc, workload.Doc(20000).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := backends[1].srv.AddDocument(liveDoc, "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(map[string]any{
+		"docs":    []string{victimDoc, liveDoc},
+		"queries": []string{"count(/*)", slowQuery},
+	})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lines []map[string]any
+	killed := false
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+		// The moment the victim's fast result is on the wire, its
+		// stream is provably mid-flight: kill the connection.
+		if !killed && line["doc"] == victimDoc && line["error"] == nil {
+			backends[0].ts.CloseClientConnections()
+			killed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatalf("victim node never streamed a result before completing: %v", lines)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want exactly 4 (one per job): %v", len(lines), lines)
+	}
+	byIndex := map[int]map[string]any{}
+	for _, line := range lines {
+		i := int(line["index"].(float64))
+		if byIndex[i] != nil {
+			t.Fatalf("index %d emitted twice", i)
+		}
+		byIndex[i] = line
+	}
+	// Index 1 is the victim's slow job: it must be an error line from
+	// the dead node. Indices 2 and 3 (the live doc) must be results.
+	if msg, _ := byIndex[1]["error"].(string); msg == "" {
+		t.Fatalf("dead node's unfinished job carried no error: %v", byIndex[1])
+	}
+	for _, i := range []int{2, 3} {
+		if byIndex[i]["value"] == nil {
+			t.Fatalf("live node's job %d lost its result: %v", i, byIndex[i])
+		}
+	}
+	// The backends must drain their cancelled work.
+	deadline := time.Now().Add(10 * time.Second)
+	for backends[0].srv.Engine().Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim's in-flight work survived the kill: %+v", backends[0].srv.Engine().Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainMode covers online resharding's client-facing half: a
+// router over a new (still empty) ring with -drain-peers pointing at
+// the old ring forwards read misses to the old ring, so queries keep
+// answering while the corpus migrates.
+func TestDrainMode(t *testing.T) {
+	oldB := newBackend(t, store.Config{})
+	newB := newBackend(t, store.Config{})
+	if _, _, err := oldB.srv.AddDocument("legacy", "<a><b/><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	router, err := New([]*Node{newB.node}, Options{
+		Generation: 2,
+		DrainPeers: []*Node{oldB.node},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(router.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, out := getJSON(t, ts.URL+"/query?doc=legacy&q=count(//b)")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drained query = %d %v", resp.StatusCode, out)
+	}
+	if out["drained"] != true || out["node"] != oldB.node.Name() {
+		t.Fatalf("drained query answered by %v (drained=%v), want the old ring", out["node"], out["drained"])
+	}
+	if val := out["value"].(map[string]any); val["number"] != 2.0 {
+		t.Fatalf("drained answer = %v, want 2", val)
+	}
+	// Single-document GET drains too, flagged like /query.
+	if resp, out := getJSON(t, ts.URL+"/documents?name=legacy"); resp.StatusCode != http.StatusOK || out["xml"] == "" || out["drained"] != true {
+		t.Fatalf("drained document fetch = %d %v, want xml with drained=true", resp.StatusCode, out)
+	}
+	// Once the document reaches the new ring, the new ring answers.
+	if resp, _ := postJSON(t, ts.URL+"/documents", map[string]string{"name": "legacy", "xml": "<a><b/><b/><b/></a>"}); resp.StatusCode != 200 {
+		t.Fatal("migrating registration failed")
+	}
+	resp, out = getJSON(t, ts.URL+"/query?doc=legacy&q=count(//b)")
+	if out["drained"] == true || out["node"] != newB.node.Name() {
+		t.Fatalf("post-migration query still drained: %v", out)
+	}
+	if val := out["value"].(map[string]any); val["number"] != 3.0 {
+		t.Fatalf("post-migration answer = %v, want 3", val)
+	}
+	// A document on neither ring is a plain 404, and /health shows
+	// both ring descriptions.
+	if resp, _ := getJSON(t, ts.URL+"/query?doc=nowhere&q=count(//b)"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-everywhere doc = %d, want 404", resp.StatusCode)
+	}
+	_, health := getJSON(t, ts.URL+"/health")
+	ring := health["ring"].(map[string]any)
+	if ring["generation"].(float64) != 2 {
+		t.Fatalf("ring generation = %v, want 2", ring["generation"])
+	}
+	if _, ok := health["drain_ring"]; !ok {
+		t.Fatal("health missing drain_ring description")
+	}
+	_, stats := getJSON(t, ts.URL+"/stats")
+	if stats["router"].(map[string]any)["drained"].(float64) < 1 {
+		t.Fatalf("stats drained counter = %v, want >= 1", stats["router"])
+	}
+}
+
+// TestStatsDegraded pins the satellite contract: /stats with a down
+// peer reports partial stats flagged "degraded" instead of failing.
+func TestStatsDegraded(t *testing.T) {
+	_, ts, backends := newCluster(t, 2, Options{Timeout: time.Second}, store.Config{})
+	if _, _, err := backends[0].srv.AddDocument("kept", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := getJSON(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK || out["degraded"] != false {
+		t.Fatalf("healthy stats = %d degraded=%v", resp.StatusCode, out["degraded"])
+	}
+	backends[1].ts.Close()
+	resp, out = getJSON(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats with a down peer = %d, want 200", resp.StatusCode)
+	}
+	if out["degraded"] != true {
+		t.Fatalf("stats with a down peer not flagged degraded: %v", out["router"])
+	}
+	nodes := out["nodes"].(map[string]any)
+	dead := nodes[backends[1].node.Name()].(map[string]any)
+	if dead["error"] == nil {
+		t.Fatalf("dead node entry carries no error: %v", dead)
+	}
+	if total := out["store_total"].(map[string]any); total["entries"].(float64) != 1 {
+		t.Fatalf("partial store_total = %v, want the live node's entry", total)
+	}
+}
+
+// TestReplicationReconcilesDivergedVersions pins the failover-write
+// divergence repair: when a replica holds a document at a HIGHER
+// version than the owner just assigned (it took a failover write on
+// its own counter while the owner was down), a registration through
+// the router must converge every copy on the new content at a version
+// above the divergent one — never pin the replica's old content.
+func TestReplicationReconcilesDivergedVersions(t *testing.T) {
+	_, ts, backends := newCluster(t, 2, Options{Replicas: 1, AnswerCacheSize: -1}, store.Config{})
+	doc := namesOwnedBy(2, 1)[0][0] // owner backends[0], replica backends[1]
+	ctx := context.Background()
+	// The replica took a failover write at a far-ahead version while
+	// the owner was down (simulated via a direct mirror write).
+	if _, _, err := backends[1].node.PutDocumentAt(ctx, doc, "<a><b/></a>", 500); err != nil {
+		t.Fatal(err)
+	}
+	// The owner is back; a fresh registration goes through the router.
+	resp, out := postJSON(t, ts.URL+"/documents", map[string]string{"name": doc, "xml": "<a><b/><b/><b/></a>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %v", resp.StatusCode, out)
+	}
+	if ver := out["version"].(float64); ver <= 500 {
+		t.Fatalf("registration version = %v, want above the replica's divergent 500", ver)
+	}
+	// Both copies converged on the NEW content above the old version.
+	for i, b := range backends {
+		info, err := b.node.GetDocument(ctx, doc)
+		if err != nil {
+			t.Fatalf("backend %d: %v", i, err)
+		}
+		if info.Version <= 500 {
+			t.Fatalf("backend %d still at version %d, want reconciled above 500", i, info.Version)
+		}
+		if !strings.Contains(info.XML, "<b/><b/><b/>") && strings.Count(info.XML, "<b") != 3 {
+			t.Fatalf("backend %d kept the stale content: %q", i, info.XML)
+		}
+	}
+	// And the replica answers with the new content.
+	resp, out = getJSON(t, ts.URL+"/query?doc="+doc+"&q=count(//b)")
+	if resp.StatusCode != 200 || out["value"].(map[string]any)["number"] != 3.0 {
+		t.Fatalf("post-reconcile query = %d %v, want 3", resp.StatusCode, out)
+	}
+}
+
+// TestDrainRingUnreachable pins the miss semantics when the old ring
+// is gone: a document that exists nowhere must stay a 404 — the drain
+// ring's unreachability is not the query's error.
+func TestDrainRingUnreachable(t *testing.T) {
+	oldB := newBackend(t, store.Config{})
+	newB := newBackend(t, store.Config{})
+	oldB.ts.Close() // the old ring is already decommissioned
+	router, err := New([]*Node{newB.node}, Options{
+		Generation: 2,
+		DrainPeers: []*Node{oldB.node},
+		Timeout:    time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(router.Handler())
+	t.Cleanup(ts.Close)
+	resp, out := getJSON(t, ts.URL+"/query?doc=ghost&q=count(//b)")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing doc with dead drain ring = %d %v, want 404", resp.StatusCode, out)
+	}
+	_, stats := getJSON(t, ts.URL+"/stats")
+	if d := stats["router"].(map[string]any)["drained"].(float64); d != 0 {
+		t.Fatalf("drained counter = %v after a failed drain, want 0", d)
+	}
+}
+
+// TestBatchDrainsMissingJobs pins /batch's drain-mode parity with
+// /query: jobs for a document that has not migrated yet are answered
+// by the old ring (flagged drained) instead of erroring.
+func TestBatchDrainsMissingJobs(t *testing.T) {
+	oldB := newBackend(t, store.Config{})
+	newB := newBackend(t, store.Config{})
+	if _, _, err := oldB.srv.AddDocument("legacy", "<a><b/><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newB.srv.AddDocument("migrated", "<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	router, err := New([]*Node{newB.node}, Options{
+		Generation: 2,
+		DrainPeers: []*Node{oldB.node},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(router.Handler())
+	t.Cleanup(ts.Close)
+	buf, _ := json.Marshal(map[string]any{
+		"docs":    []string{"legacy", "migrated", "nowhere"},
+		"queries": []string{"count(//b)"},
+	})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := readNDJSON(t, resp)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %v", len(lines), lines)
+	}
+	byIndex := make([]map[string]any, 3)
+	for _, line := range lines {
+		byIndex[int(line["index"].(float64))] = line
+	}
+	// legacy: answered by the old ring, flagged drained.
+	if byIndex[0]["drained"] != true || byIndex[0]["node"] != oldB.node.Name() {
+		t.Fatalf("legacy line = %v, want drained from the old ring", byIndex[0])
+	}
+	if byIndex[0]["value"].(map[string]any)["number"] != 2.0 {
+		t.Fatalf("legacy answer = %v, want 2", byIndex[0])
+	}
+	// migrated: answered by the new ring, not drained.
+	if byIndex[1]["drained"] == true || byIndex[1]["node"] != newB.node.Name() {
+		t.Fatalf("migrated line = %v, want the new ring's answer", byIndex[1])
+	}
+	// nowhere: one error line (missing on both rings), not a stall.
+	if msg, _ := byIndex[2]["error"].(string); msg == "" {
+		t.Fatalf("missing-everywhere job carried no error: %v", byIndex[2])
 	}
 }

@@ -13,11 +13,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 	"unicode/utf8"
 
@@ -84,16 +86,52 @@ func (s *Server) StoreStats() store.Stats { return s.docs.Stats() }
 // AddDocument parses xml and registers it under name, replacing any
 // previous document with that name. The document is accounted against
 // the store's byte budget at its serialized size. It returns the node
-// count.
-func (s *Server) AddDocument(name, xml string) (int, error) {
+// count and the document's newly assigned monotonic version.
+func (s *Server) AddDocument(name, xml string) (int, uint64, error) {
+	return s.AddDocumentAt(name, xml, 0)
+}
+
+// versionMirror is the store capability AddDocumentAt and the version
+// surfaces need beyond the Store interface; the production Sharded
+// store satisfies it.
+type versionMirror interface {
+	PutAt(key string, v *engine.Session, size int64, ver uint64) (uint64, error)
+	Version(key string) (uint64, bool)
+}
+
+// AddDocumentAt registers xml under name at an explicitly assigned
+// version — the write half of replication and resharding, where a
+// mirror must store the owner's document at the owner's version so
+// staleness stays detectable. A zero ver self-assigns from the store's
+// counter (AddDocument is this case). A ver at or below the resident
+// document's version is a stale mirror write and is skipped.
+func (s *Server) AddDocumentAt(name, xml string, ver uint64) (int, uint64, error) {
 	d, err := core.ParseString(xml)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if err := s.docs.Put(name, s.eng.NewSession(d), int64(len(xml))); err != nil {
-		return 0, err
+	sess := s.eng.NewSession(d)
+	var v uint64
+	if vm, ok := s.docs.(versionMirror); ok && ver > 0 {
+		v, err = vm.PutAt(name, sess, int64(len(xml)), ver)
+	} else {
+		v, err = s.docs.Put(name, sess, int64(len(xml)))
 	}
-	return d.Len(), nil
+	if err != nil {
+		return 0, 0, err
+	}
+	return d.Len(), v, nil
+}
+
+// docVersion returns the current version of a named document (0 when
+// unknown or the store does not track versions).
+func (s *Server) docVersion(name string) uint64 {
+	if vm, ok := s.docs.(versionMirror); ok {
+		if v, ok := vm.Version(name); ok {
+			return v
+		}
+	}
+	return 0
 }
 
 // Session returns the session serving a named document.
@@ -157,9 +195,13 @@ func (s *Server) Handler() http.Handler {
 }
 
 // DocumentRequest registers a document: the body of POST /documents.
+// A nonzero Version mirrors the document at that explicit version
+// instead of self-assigning (see Server.AddDocumentAt) — the form the
+// cluster's write-time replication and the reshard tool use.
 type DocumentRequest struct {
-	Name string `json:"name"`
-	XML  string `json:"xml"`
+	Name    string `json:"name"`
+	XML     string `json:"xml"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // QueryRequest evaluates one query: the body of POST /query.
@@ -168,11 +210,21 @@ type QueryRequest struct {
 	Query string `json:"query"`
 }
 
-// BatchRequest evaluates many queries over one document: the body of
-// POST /batch.
+// BatchRequest evaluates many queries: the body of POST /batch. The
+// single-document form sets Doc + Queries; the grouped form sets Jobs,
+// each naming its own document — the shape the cluster router uses to
+// open one stream per backend node instead of one per document. The
+// two forms are mutually exclusive.
 type BatchRequest struct {
-	Doc     string   `json:"doc"`
-	Queries []string `json:"queries"`
+	Doc     string     `json:"doc,omitempty"`
+	Queries []string   `json:"queries,omitempty"`
+	Jobs    []BatchJob `json:"jobs,omitempty"`
+}
+
+// BatchJob is one (document, query) pair of a grouped batch.
+type BatchJob struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
 }
 
 // ValueJSON renders a semantics.Value: "string" always carries the
@@ -209,32 +261,42 @@ func clip(s string) (string, bool) {
 }
 
 // QueryResponse is the /query response shape (and the per-line payload
-// of /batch).
+// of /batch). Version is the served document's monotonic version — the
+// key the cluster router's answer cache is invalidated by.
 type QueryResponse struct {
 	Query    string     `json:"query"`
 	Fragment string     `json:"fragment"`
 	Strategy string     `json:"strategy"`
+	Version  uint64     `json:"version,omitempty"`
 	Fallback bool       `json:"fallback,omitempty"`
 	Value    *ValueJSON `json:"value,omitempty"`
 	Error    string     `json:"error,omitempty"`
 }
 
-// BatchLine is one streamed /batch result: the query's input index plus
+// BatchLine is one streamed /batch result: the job's input index plus
 // the same shape /query responds with. Lines are emitted in completion
-// order; consumers reassemble input order from "index".
+// order; consumers reassemble input order from "index". Doc is set
+// only on grouped (jobs-form) batches, where one stream spans several
+// documents; Missing marks an error line whose cause is specifically
+// an absent document, so a router holding replicas knows the job is
+// worth retrying on a successor node (any other error is final).
 type BatchLine struct {
-	Index int `json:"index"`
+	Index   int    `json:"index"`
+	Doc     string `json:"doc,omitempty"`
+	Missing bool   `json:"missing,omitempty"`
 	QueryResponse
 }
 
 // DocInfo is one entry of the GET /documents listing. IdleMs is the
 // idle-eviction signal: milliseconds since the document was last
-// queried (see -maxidle).
+// queried (see -maxidle); Version is the document's monotonic version
+// (replicas and caches compare it to detect staleness).
 type DocInfo struct {
-	Name   string `json:"name"`
-	Nodes  int    `json:"nodes"`
-	Bytes  int64  `json:"bytes"`
-	IdleMs int64  `json:"idle_ms"`
+	Name    string `json:"name"`
+	Nodes   int    `json:"nodes"`
+	Bytes   int64  `json:"bytes"`
+	IdleMs  int64  `json:"idle_ms"`
+	Version uint64 `json:"version,omitempty"`
 	// XML carries the serialized document only on single-document
 	// fetches (GET /documents?name=); listings omit it.
 	XML string `json:"xml,omitempty"`
@@ -320,10 +382,11 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		docs := []DocInfo{}
 		s.docs.Range(func(name string, sess *engine.Session, size int64) bool {
 			docs = append(docs, DocInfo{
-				Name:   name,
-				Nodes:  sess.Document().Len(),
-				Bytes:  size,
-				IdleMs: sess.IdleFor().Milliseconds(),
+				Name:    name,
+				Nodes:   sess.Document().Len(),
+				Bytes:   size,
+				IdleMs:  sess.IdleFor().Milliseconds(),
+				Version: s.docVersion(name),
 			})
 			return true
 		})
@@ -347,7 +410,13 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 
 // handleDocumentGet serves one document including its serialized XML —
 // the read half of the remote store protocol (cluster.Remote.Get).
+// The version is read BEFORE the session so a replacement racing this
+// fetch can only under-label the XML (harmless: a mirror write at the
+// older version loses to the real newer one), never pair old content
+// with the new version — which a reshard would then copy and the
+// stale-write guard make permanent.
 func (s *Server) handleDocumentGet(w http.ResponseWriter, name string) {
+	ver := s.docVersion(name)
 	sess, ok := s.docs.Get(name)
 	if !ok {
 		HTTPError(w, http.StatusNotFound, "unknown document %q", name)
@@ -355,11 +424,12 @@ func (s *Server) handleDocumentGet(w http.ResponseWriter, name string) {
 	}
 	xml := sess.Document().XMLString()
 	WriteJSON(w, http.StatusOK, DocInfo{
-		Name:   name,
-		Nodes:  sess.Document().Len(),
-		Bytes:  int64(len(xml)),
-		IdleMs: sess.IdleFor().Milliseconds(),
-		XML:    xml,
+		Name:    name,
+		Nodes:   sess.Document().Len(),
+		Bytes:   int64(len(xml)),
+		IdleMs:  sess.IdleFor().Milliseconds(),
+		Version: ver,
+		XML:     xml,
 	})
 }
 
@@ -372,7 +442,7 @@ func (s *Server) handleDocumentPost(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "both name and xml are required")
 		return
 	}
-	n, err := s.AddDocument(req.Name, req.XML)
+	n, ver, err := s.AddDocumentAt(req.Name, req.XML, req.Version)
 	switch {
 	case errors.Is(err, store.ErrFull):
 		HTTPError(w, http.StatusInsufficientStorage, "document store full: %v; delete or replace a document, or raise -max-docs/-maxbytes", err)
@@ -384,7 +454,7 @@ func (s *Server) handleDocumentPost(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "parse %s: %v", req.Name, err)
 		return
 	}
-	WriteJSON(w, http.StatusOK, map[string]any{"name": req.Name, "nodes": n})
+	WriteJSON(w, http.StatusOK, map[string]any{"name": req.Name, "nodes": n, "version": ver})
 }
 
 // handleQuery accepts POST {doc, query} or GET ?doc=...&q=... (the
@@ -408,12 +478,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "both doc and query are required")
 		return
 	}
+	// The version is read BEFORE the session: if a replacement lands
+	// between the two, the answer is the new document's labeled with
+	// the old version — at worst a cache miss downstream. The other
+	// order would label an old answer with the new version, poisoning
+	// every (doc, query, version)-keyed cache in front of this node.
+	ver := s.docVersion(req.Doc)
 	sess, ok := s.Session(req.Doc)
 	if !ok {
 		HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
 		return
 	}
 	resp := s.render(sess, sess.DoContext(r.Context(), req.Query))
+	resp.Version = ver
 	status := http.StatusOK
 	if resp.Error != "" {
 		status = http.StatusUnprocessableEntity
@@ -421,46 +498,111 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, status, resp)
 }
 
-// handleBatch streams per-query results as chunked JSON lines
-// (application/x-ndjson): each line carries the query's input index
-// and is written the moment its worker finishes, so the first results
-// are on the wire while later queries are still evaluating. The batch
-// is wired to the request context end to end — when the client
+// handleBatch streams per-job results as chunked JSON lines
+// (application/x-ndjson): each line carries the job's input index and
+// is written the moment its worker finishes, so the first results are
+// on the wire while later queries are still evaluating. The batch is
+// wired to the request context end to end — when the client
 // disconnects, queued queries are never dispatched and in-flight
 // evaluations stop at their next cancellation checkpoint.
+//
+// The single-document form ({doc, queries}) answers 404 when the
+// document is unknown. The grouped jobs form spans documents, so an
+// absent document there is a per-job condition, not a request failure:
+// its jobs yield error lines flagged "missing" and every other job
+// still evaluates — the degradation contract the cluster router's
+// per-node streams rely on.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		HTTPError(w, http.StatusMethodNotAllowed, "POST a {doc, queries} object")
+		HTTPError(w, http.StatusMethodNotAllowed, "POST a {doc, queries} or {jobs} object")
 		return
 	}
 	var req BatchRequest
 	if !DecodeJSON(w, r, &req) {
 		return
 	}
-	if req.Doc == "" {
-		HTTPError(w, http.StatusBadRequest, "doc is required")
+	if (req.Doc == "") == (len(req.Jobs) == 0) {
+		HTTPError(w, http.StatusBadRequest, "exactly one of doc+queries or jobs is required")
 		return
 	}
-	sess, ok := s.Session(req.Doc)
-	if !ok {
-		HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
+	if req.Doc != "" {
+		sess, ok := s.Session(req.Doc)
+		if !ok {
+			HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
+			return
+		}
+		ctx, writeLine := s.startBatchStream(w, r)
+		sess.StreamBatch(ctx, req.Queries, func(i int, res engine.Result) {
+			writeLine(BatchLine{Index: i, QueryResponse: s.render(sess, res)})
+		})
 		return
 	}
+	s.handleJobsBatch(w, r, req.Jobs)
+}
+
+// startBatchStream commits the response to NDJSON streaming and
+// returns the request context plus a line writer that is safe for
+// concurrent use and drops lines once the client is gone.
+func (s *Server) startBatchStream(w http.ResponseWriter, r *http.Request) (context.Context, func(BatchLine)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
-	sess.StreamBatch(ctx, req.Queries, func(i int, res engine.Result) {
+	var mu sync.Mutex
+	return ctx, func(line BatchLine) {
+		mu.Lock()
+		defer mu.Unlock()
 		if ctx.Err() != nil {
 			return // client is gone; drop the line, workers are winding down
 		}
-		enc.Encode(BatchLine{Index: i, QueryResponse: s.render(sess, res)})
+		enc.Encode(line)
 		if fl != nil {
 			fl.Flush()
 		}
-	})
+	}
+}
+
+// handleJobsBatch runs the grouped form: jobs spanning several
+// documents in one stream. Jobs are grouped per document and each
+// document's group runs through its session's worker pool; the groups
+// stream concurrently into one merged completion-order response, every
+// line re-tagged with the global job index and its document.
+func (s *Server) handleJobsBatch(w http.ResponseWriter, r *http.Request, jobs []BatchJob) {
+	byDoc := map[string][]int{} // doc -> global job indices, input order
+	for i, j := range jobs {
+		byDoc[j.Doc] = append(byDoc[j.Doc], i)
+	}
+	ctx, writeLine := s.startBatchStream(w, r)
+	var wg sync.WaitGroup
+	for doc, indices := range byDoc {
+		sess, ok := s.Session(doc)
+		if !ok {
+			for _, gi := range indices {
+				writeLine(BatchLine{
+					Index: gi, Doc: doc, Missing: true,
+					QueryResponse: QueryResponse{
+						Query: jobs[gi].Query,
+						Error: fmt.Sprintf("unknown document %q", doc),
+					},
+				})
+			}
+			continue
+		}
+		queries := make([]string, len(indices))
+		for k, gi := range indices {
+			queries[k] = jobs[gi].Query
+		}
+		wg.Add(1)
+		go func(doc string, sess *engine.Session, indices []int, queries []string) {
+			defer wg.Done()
+			sess.StreamBatch(ctx, queries, func(k int, res engine.Result) {
+				writeLine(BatchLine{Index: indices[k], Doc: doc, QueryResponse: s.render(sess, res)})
+			})
+		}(doc, sess, indices, queries)
+	}
+	wg.Wait()
 }
 
 // handleHealthz is the liveness probe the cluster router polls: cheap,
@@ -482,9 +624,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.eng.Stats()
-	docs := map[string]int{}
+	type docStat struct {
+		Nodes   int    `json:"nodes"`
+		Version uint64 `json:"version"`
+	}
+	docs := map[string]docStat{}
 	s.docs.Range(func(name string, sess *engine.Session, _ int64) bool {
-		docs[name] = sess.Document().Len()
+		docs[name] = docStat{Nodes: sess.Document().Len(), Version: s.docVersion(name)}
 		return true
 	})
 	WriteJSON(w, http.StatusOK, map[string]any{

@@ -23,7 +23,7 @@ import (
 func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	srv := New(engine.New(engine.Options{CacheSize: 64, Workers: 4}), store.Config{})
-	if _, err := srv.AddDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
+	if _, _, err := srv.AddDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -229,7 +229,7 @@ func slowBatchDoc() string {
 // the client and verifies the in-flight evaluation is cancelled.
 func TestBatchStreamsBeforeCompletion(t *testing.T) {
 	srv := New(engine.New(engine.Options{CacheSize: 16, Workers: 2}), store.Config{})
-	if _, err := srv.AddDocument("big", slowBatchDoc()); err != nil {
+	if _, _, err := srv.AddDocument("big", slowBatchDoc()); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -330,7 +330,7 @@ func TestFallbackOverHTTP(t *testing.T) {
 	srv := New(engine.New(engine.Options{
 		Strategy: core.BottomUp, MaxTableRows: 8, Fallback: true,
 	}), store.Config{})
-	if _, err := srv.AddDocument("catalog", workload.Catalog(30).XMLString()); err != nil {
+	if _, _, err := srv.AddDocument("catalog", workload.Catalog(30).XMLString()); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -357,7 +357,7 @@ func TestFallbackOverHTTP(t *testing.T) {
 func TestDocumentShardSpread(t *testing.T) {
 	srv := New(engine.New(engine.Options{}), store.Config{Shards: 4, MaxEntries: 64})
 	for i := 0; i < 32; i++ {
-		if _, err := srv.AddDocument(fmt.Sprintf("doc-%d", i), "<a><b/></a>"); err != nil {
+		if _, _, err := srv.AddDocument(fmt.Sprintf("doc-%d", i), "<a><b/></a>"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -385,7 +385,7 @@ func TestBodySizeLimit(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body status = %d, body %v, want 413", resp.StatusCode, out)
 	}
-	if _, err := srv.AddDocument("small", "<a><b/></a>"); err != nil {
+	if _, _, err := srv.AddDocument("small", "<a><b/></a>"); err != nil {
 		t.Fatal(err)
 	}
 	if resp, _ := getJSON(t, ts.URL+"/query?doc=small&q=count(//b)"); resp.StatusCode != http.StatusOK {
@@ -418,7 +418,7 @@ func TestDocumentLimit(t *testing.T) {
 func TestResponseTruncation(t *testing.T) {
 	srv := New(engine.New(engine.Options{}), store.Config{})
 	text := strings.Repeat("é", 40<<10) // 80KB of 2-byte runes > maxStringBytes
-	if _, err := srv.AddDocument("big", "<a><b>"+text+"</b></a>"); err != nil {
+	if _, _, err := srv.AddDocument("big", "<a><b>"+text+"</b></a>"); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -500,7 +500,7 @@ func TestDocumentGetSingle(t *testing.T) {
 	}
 	// The serialized form must round-trip to a document with the same
 	// node count the server reports.
-	n, err := srv.AddDocument("copy", xml)
+	n, _, err := srv.AddDocument("copy", xml)
 	if err != nil {
 		t.Fatalf("re-registering served xml: %v", err)
 	}
@@ -551,7 +551,7 @@ func TestDocumentListIdle(t *testing.T) {
 // is spared on the next sweep.
 func TestEvictIdle(t *testing.T) {
 	srv, ts := testServer(t)
-	if _, err := srv.AddDocument("cold", "<a><b/></a>"); err != nil {
+	if _, _, err := srv.AddDocument("cold", "<a><b/></a>"); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(40 * time.Millisecond)
@@ -569,5 +569,144 @@ func TestEvictIdle(t *testing.T) {
 	}
 	if evicted := srv.EvictIdle(time.Hour); evicted != nil {
 		t.Fatalf("EvictIdle(1h) evicted %v, want nothing", evicted)
+	}
+}
+
+// TestDocumentVersions pins the version surfaces: registration
+// returns a version, replacement bumps it, listings and /query carry
+// it, an explicit-version mirror write stores at that version, and a
+// stale mirror write is skipped.
+func TestDocumentVersions(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "v", XML: "<a><b/></a>"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %v", resp.StatusCode, out)
+	}
+	v1, ok := out["version"].(float64)
+	if !ok || v1 <= 0 {
+		t.Fatalf("registration version = %v, want > 0", out["version"])
+	}
+	_, out = postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "v", XML: "<a><b/><b/></a>"})
+	v2 := out["version"].(float64)
+	if v2 <= v1 {
+		t.Fatalf("replacement version %v not above %v", v2, v1)
+	}
+	// /query carries the served document's version.
+	_, out = getJSON(t, ts.URL+"/query?doc=v&q=count(//b)")
+	if out["version"].(float64) != v2 {
+		t.Fatalf("query version = %v, want %v", out["version"], v2)
+	}
+	// Listings and the single-document fetch carry it too.
+	_, out = getJSON(t, ts.URL+"/documents?name=v")
+	if out["version"].(float64) != v2 {
+		t.Fatalf("single fetch version = %v, want %v", out["version"], v2)
+	}
+	_, out = getJSON(t, ts.URL+"/documents")
+	for _, d := range out["documents"].([]any) {
+		entry := d.(map[string]any)
+		if entry["name"] == "v" && entry["version"].(float64) != v2 {
+			t.Fatalf("listing version = %v, want %v", entry["version"], v2)
+		}
+	}
+	// /stats surfaces per-document versions.
+	_, stats := getJSON(t, ts.URL+"/stats")
+	doc := stats["documents"].(map[string]any)["v"].(map[string]any)
+	if doc["version"].(float64) != v2 {
+		t.Fatalf("stats version = %v, want %v", doc["version"], v2)
+	}
+
+	// A mirror write at an explicit higher version sticks at exactly
+	// that version (the replication/reshard write path)...
+	mirror := v2 + 100
+	_, out = postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "v", XML: "<a><b/><b/><b/></a>", Version: uint64(mirror)})
+	if out["version"].(float64) != mirror {
+		t.Fatalf("mirror write version = %v, want %v", out["version"], mirror)
+	}
+	// ...and a stale mirror write is skipped: the resident version and
+	// content win.
+	_, out = postJSON(t, ts.URL+"/documents", DocumentRequest{Name: "v", XML: "<a/>", Version: uint64(v2)})
+	if out["version"].(float64) != mirror {
+		t.Fatalf("stale mirror write resulted in version %v, want resident %v", out["version"], mirror)
+	}
+	_, out = getJSON(t, ts.URL+"/query?doc=v&q=count(//b)")
+	if out["value"].(map[string]any)["number"] != 3.0 {
+		t.Fatalf("stale mirror write replaced the document: %v", out["value"])
+	}
+}
+
+// TestJobsBatch drives the grouped /batch form: jobs spanning several
+// documents in one stream, each line tagged with its global index and
+// document, with an absent document degrading to per-job "missing"
+// error lines instead of failing the request.
+func TestJobsBatch(t *testing.T) {
+	srv, ts := testServer(t)
+	if _, _, err := srv.AddDocument("mini", "<a><b/><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []BatchJob{
+		{Doc: "catalog", Query: "count(//product)"},
+		{Doc: "mini", Query: "count(//b)"},
+		{Doc: "ghost", Query: "count(//b)"},
+		{Doc: "mini", Query: "//["},
+	}
+	buf, _ := json.Marshal(BatchRequest{Jobs: jobs})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	lines := readBatchLines(t, resp)
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	byIndex := make([]map[string]any, 4)
+	for _, line := range lines {
+		i := int(line["index"].(float64))
+		if byIndex[i] != nil {
+			t.Fatalf("index %d emitted twice", i)
+		}
+		byIndex[i] = line
+	}
+	for i, line := range byIndex {
+		if line == nil {
+			t.Fatalf("index %d missing from stream", i)
+		}
+		if line["doc"] != jobs[i].Doc {
+			t.Fatalf("index %d tagged doc %v, want %s", i, line["doc"], jobs[i].Doc)
+		}
+	}
+	if val := byIndex[0]["value"].(map[string]any); val["number"] != 12.0 {
+		t.Fatalf("catalog job = %v, want 12", val)
+	}
+	if val := byIndex[1]["value"].(map[string]any); val["number"] != 2.0 {
+		t.Fatalf("mini job = %v, want 2", val)
+	}
+	if byIndex[2]["missing"] != true || byIndex[2]["error"] == "" {
+		t.Fatalf("absent-doc job = %v, want missing error line", byIndex[2])
+	}
+	if msg, _ := byIndex[3]["error"].(string); msg == "" {
+		t.Fatalf("invalid-query job carried no error: %v", byIndex[3])
+	}
+	if byIndex[3]["missing"] == true {
+		t.Fatalf("invalid-query error wrongly flagged missing: %v", byIndex[3])
+	}
+
+	// Exactly one of doc+queries or jobs: both and neither are 400s.
+	for _, body := range []BatchRequest{
+		{},
+		{Doc: "mini", Queries: []string{"//b"}, Jobs: jobs[:1]},
+	} {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed batch form = %d, want 400", resp.StatusCode)
+		}
 	}
 }

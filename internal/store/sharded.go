@@ -38,6 +38,7 @@ type Sharded[V any] struct {
 	cfg      Config
 	shardMax int64 // per-shard byte budget (0 = unlimited)
 	entries  atomic.Int64
+	lastVer  atomic.Uint64 // store-wide monotonic version counter
 	shards   []shard[V]
 }
 
@@ -54,6 +55,7 @@ type shardEntry[V any] struct {
 	key  string
 	val  V
 	size int64
+	ver  uint64
 }
 
 // NewSharded creates a sharded store from cfg (zero fields take
@@ -111,28 +113,59 @@ func (s *Sharded[V]) Get(key string) (V, bool) {
 	return el.Value.(*shardEntry[V]).val, true
 }
 
-// Put stores v under key. Under EvictLRU it evicts least-recently-used
-// entries from the target shard until the new entry fits its byte
-// budget; under EvictReject it returns ErrFull instead.
-func (s *Sharded[V]) Put(key string, v V, size int64) error {
+// Put stores v under key and returns the entry's newly assigned
+// version (the next value of the store-wide monotonic counter). Under
+// EvictLRU it evicts least-recently-used entries from the target shard
+// until the new entry fits its byte budget; under EvictReject it
+// returns ErrFull instead.
+func (s *Sharded[V]) Put(key string, v V, size int64) (uint64, error) {
+	return s.put(key, v, size, 0)
+}
+
+// PutAt stores v under key at an explicitly assigned version instead
+// of drawing one from the store's counter — the write half of version
+// mirroring: a replica stores the owner's document at the owner's
+// version, and a reshard writes a migrated document at the version it
+// had on the old ring. A PutAt at or below the resident entry's
+// version is a stale write and is skipped (the resident entry wins);
+// either way the resulting version under key is returned. The store's
+// counter is raised to at least ver so later local Puts stay monotonic
+// past every mirrored version.
+func (s *Sharded[V]) PutAt(key string, v V, size int64, ver uint64) (uint64, error) {
+	if ver == 0 {
+		return s.put(key, v, size, 0)
+	}
+	for {
+		c := s.lastVer.Load()
+		if c >= ver || s.lastVer.CompareAndSwap(c, ver) {
+			break
+		}
+	}
+	return s.put(key, v, size, ver)
+}
+
+func (s *Sharded[V]) put(key string, v V, size int64, explicit uint64) (uint64, error) {
 	if size < 0 {
 		size = 0
 	}
 	if s.shardMax > 0 && size > s.shardMax {
-		return ErrTooLarge
+		return 0, ErrTooLarge
 	}
 	sh := &s.shards[s.ShardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	el, replacing := sh.items[key]
+	if replacing && explicit > 0 && el.Value.(*shardEntry[V]).ver >= explicit {
+		return el.Value.(*shardEntry[V]).ver, nil // stale mirror write
+	}
 	if !replacing && s.cfg.MaxEntries > 0 {
 		// Reserve a slot in the global entry count; CAS so concurrent
 		// Puts on different shards cannot both squeeze past the cap.
 		for {
 			n := s.entries.Load()
 			if n >= int64(s.cfg.MaxEntries) {
-				return ErrFull
+				return 0, ErrFull
 			}
 			if s.entries.CompareAndSwap(n, n+1) {
 				break
@@ -148,24 +181,46 @@ func (s *Sharded[V]) Put(key string, v V, size int64) error {
 			if !replacing && s.cfg.MaxEntries > 0 {
 				s.entries.Add(-1) // release the reserved slot
 			}
-			return ErrFull
+			return 0, ErrFull
 		}
 		s.evictLocked(sh, el, s.shardMax-size+prev)
+	}
+	ver := explicit
+	if ver == 0 {
+		ver = s.lastVer.Add(1)
 	}
 	if replacing {
 		e := el.Value.(*shardEntry[V])
 		sh.bytes += size - e.size
-		e.val, e.size = v, size
+		e.val, e.size, e.ver = v, size, ver
 		sh.lru.MoveToFront(el)
-		return nil
+		return ver, nil
 	}
-	sh.items[key] = sh.lru.PushFront(&shardEntry[V]{key: key, val: v, size: size})
+	sh.items[key] = sh.lru.PushFront(&shardEntry[V]{key: key, val: v, size: size, ver: ver})
 	sh.bytes += size
 	if s.cfg.MaxEntries <= 0 {
 		s.entries.Add(1)
 	}
-	return nil
+	return ver, nil
 }
+
+// Version returns the version of the entry under key without
+// refreshing its recency or counting a hit — a metadata peek, not a
+// document lookup.
+func (s *Sharded[V]) Version(key string) (uint64, bool) {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*shardEntry[V]).ver, true
+}
+
+// LastVersion returns the store-wide version counter: the version most
+// recently assigned (or mirrored) by any Put.
+func (s *Sharded[V]) LastVersion() uint64 { return s.lastVer.Load() }
 
 // evictLocked removes least-recently-used entries (skipping keep, the
 // entry being replaced) until the shard's bytes drop to target.

@@ -24,13 +24,22 @@ var ErrTooLarge = errors.New("store: entry exceeds shard byte budget")
 
 // Store is a keyed value store with byte-size accounting. All methods
 // are safe for concurrent use.
+//
+// Every entry carries a monotonic version: Put assigns the next value
+// of a store-wide counter, so for a fixed key versions strictly
+// increase across replacements (and even across a Delete followed by a
+// re-Put — the counter never goes backwards). The version is the
+// staleness signal of the replication layer: a replica or cache
+// holding version v of a document knows it is stale the moment it
+// sees a version > v for the same key.
 type Store[V any] interface {
 	// Get returns the value stored under key.
 	Get(key string) (V, bool)
 	// Put stores v under key with the given size in bytes, replacing
-	// any previous entry. It returns ErrFull or ErrTooLarge when the
+	// any previous entry, and returns the entry's newly assigned
+	// monotonic version. It returns ErrFull or ErrTooLarge when the
 	// store's budgets refuse the entry.
-	Put(key string, v V, size int64) error
+	Put(key string, v V, size int64) (uint64, error)
 	// Delete removes key, reporting whether it was present.
 	Delete(key string) bool
 	// Range calls f for every entry until f returns false. It takes a

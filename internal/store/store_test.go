@@ -9,14 +9,14 @@ import (
 
 func TestPutGetDelete(t *testing.T) {
 	s := NewSharded[string](Config{Shards: 4})
-	if err := s.Put("a", "alpha", 5); err != nil {
+	if _, err := s.Put("a", "alpha", 5); err != nil {
 		t.Fatal(err)
 	}
 	v, ok := s.Get("a")
 	if !ok || v != "alpha" {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
-	if err := s.Put("a", "beta", 4); err != nil {
+	if _, err := s.Put("a", "beta", 4); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := s.Get("a"); v != "beta" {
@@ -50,7 +50,7 @@ func TestShardDistribution(t *testing.T) {
 		if s.ShardFor(key) != s.ShardFor(key) {
 			t.Fatalf("routing for %q is not stable", key)
 		}
-		if err := s.Put(key, i, 1); err != nil {
+		if _, err := s.Put(key, i, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -72,22 +72,23 @@ func TestShardDistribution(t *testing.T) {
 
 func TestMaxEntriesRejectsNewKeepsReplacements(t *testing.T) {
 	s := NewSharded[int](Config{Shards: 2, MaxEntries: 2})
-	if err := s.Put("one", 1, 1); err != nil {
+	if _, err := s.Put("one", 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("two", 2, 1); err != nil {
+	if _, err := s.Put("two", 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("three", 3, 1); !errors.Is(err, ErrFull) {
+	if _, err := s.Put("three", 3, 1); !errors.Is(err, ErrFull) {
 		t.Fatalf("over-cap Put err = %v, want ErrFull", err)
 	}
-	if err := s.Put("two", 22, 1); err != nil {
+	if _, err := s.Put("two", 22, 1); err != nil {
 		t.Fatalf("replacement at cap err = %v", err)
 	}
 	if s.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", s.Len())
 	}
-	if s.Delete("one"); s.Put("three", 3, 1) != nil {
+	s.Delete("one")
+	if _, err := s.Put("three", 3, 1); err != nil {
 		t.Fatal("slot freed by Delete was not reusable")
 	}
 }
@@ -96,13 +97,13 @@ func TestLRUEviction(t *testing.T) {
 	// One shard so all keys compete for the same 100-byte budget.
 	s := NewSharded[int](Config{Shards: 1, MaxBytes: 100, Policy: EvictLRU})
 	for i := 0; i < 4; i++ {
-		if err := s.Put(fmt.Sprintf("k%d", i), i, 25); err != nil {
+		if _, err := s.Put(fmt.Sprintf("k%d", i), i, 25); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch k0 so k1 is the LRU, then overflow the budget.
 	s.Get("k0")
-	if err := s.Put("big", 99, 30); err != nil {
+	if _, err := s.Put("big", 99, 30); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get("k1"); ok {
@@ -122,20 +123,20 @@ func TestLRUEviction(t *testing.T) {
 
 func TestRejectPolicyAndTooLarge(t *testing.T) {
 	s := NewSharded[int](Config{Shards: 1, MaxBytes: 100, Policy: EvictReject})
-	if err := s.Put("a", 1, 80); err != nil {
+	if _, err := s.Put("a", 1, 80); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("b", 2, 30); !errors.Is(err, ErrFull) {
+	if _, err := s.Put("b", 2, 30); !errors.Is(err, ErrFull) {
 		t.Fatalf("over-budget Put err = %v, want ErrFull", err)
 	}
-	if err := s.Put("huge", 3, 200); !errors.Is(err, ErrTooLarge) {
+	if _, err := s.Put("huge", 3, 200); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversized Put err = %v, want ErrTooLarge", err)
 	}
 	// Replacing the resident entry with a smaller one must succeed.
-	if err := s.Put("a", 11, 10); err != nil {
+	if _, err := s.Put("a", 11, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("b", 2, 30); err != nil {
+	if _, err := s.Put("b", 2, 30); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -168,7 +169,7 @@ func TestRange(t *testing.T) {
 // so a stale snapshot cannot delete a replacement entry.
 func TestDeleteIf(t *testing.T) {
 	s := NewSharded[int](Config{Shards: 2})
-	if err := s.Put("k", 1, 10); err != nil {
+	if _, err := s.Put("k", 1, 10); err != nil {
 		t.Fatal(err)
 	}
 	if s.DeleteIf("k", func(v int, size int64) bool { return v == 2 }) {
@@ -185,6 +186,58 @@ func TestDeleteIf(t *testing.T) {
 	}
 	if s.Len() != 0 {
 		t.Fatalf("Len = %d after delete, want 0", s.Len())
+	}
+}
+
+// TestVersions pins the monotonic-version contract the replication
+// layer leans on: Put assigns strictly increasing versions per key
+// (even across Delete + re-Put), PutAt mirrors an explicit version and
+// skips stale writes, and the counter never goes backwards past a
+// mirrored version.
+func TestVersions(t *testing.T) {
+	s := NewSharded[string](Config{Shards: 2})
+	v1, err := s.Put("doc", "one", 3)
+	if err != nil || v1 == 0 {
+		t.Fatalf("Put = (%d, %v), want a nonzero version", v1, err)
+	}
+	v2, _ := s.Put("doc", "two", 3)
+	if v2 <= v1 {
+		t.Fatalf("replacement version %d not above %d", v2, v1)
+	}
+	if got, ok := s.Version("doc"); !ok || got != v2 {
+		t.Fatalf("Version(doc) = (%d, %v), want (%d, true)", got, ok, v2)
+	}
+	s.Delete("doc")
+	if _, ok := s.Version("doc"); ok {
+		t.Fatal("Version survived Delete")
+	}
+	v3, _ := s.Put("doc", "three", 5)
+	if v3 <= v2 {
+		t.Fatalf("re-Put after Delete got version %d, want above %d", v3, v2)
+	}
+
+	// Mirror a remote version well above the local counter.
+	mv, err := s.PutAt("mirrored", "replica copy", 12, v3+100)
+	if err != nil || mv != v3+100 {
+		t.Fatalf("PutAt = (%d, %v), want %d", mv, err, v3+100)
+	}
+	// A stale mirror write is skipped: the resident entry wins.
+	if got, _ := s.PutAt("mirrored", "stale copy", 10, v3+50); got != v3+100 {
+		t.Fatalf("stale PutAt resulted in version %d, want resident %d", got, v3+100)
+	}
+	if val, _ := s.Get("mirrored"); val != "replica copy" {
+		t.Fatalf("stale PutAt replaced the value: %q", val)
+	}
+	// The counter cleared the mirrored version: later Puts stay above.
+	if v4, _ := s.Put("doc", "four", 5); v4 <= v3+100 {
+		t.Fatalf("post-mirror Put version %d, want above %d", v4, v3+100)
+	}
+	if s.LastVersion() <= v3+100 {
+		t.Fatalf("LastVersion = %d, want above %d", s.LastVersion(), v3+100)
+	}
+	// PutAt with a zero version falls back to self-assignment.
+	if v, err := s.PutAt("self", "x", 1, 0); err != nil || v <= v3+100 {
+		t.Fatalf("PutAt(0) = (%d, %v), want a fresh counter version", v, err)
 	}
 }
 
@@ -212,7 +265,7 @@ func TestKeyShardMatchesShardFor(t *testing.T) {
 func TestRangeOrderWithinShard(t *testing.T) {
 	s := NewSharded[int](Config{Shards: 1})
 	for i, k := range []string{"a", "b", "c"} {
-		if err := s.Put(k, i, 1); err != nil {
+		if _, err := s.Put(k, i, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -238,7 +291,7 @@ func TestRangeUnderConcurrentMutation(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		k := fmt.Sprintf("stable-%d", i)
 		stable[k] = i
-		if err := s.Put(k, i, int64(i+1)); err != nil {
+		if _, err := s.Put(k, i, int64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}

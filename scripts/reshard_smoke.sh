@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# reshard_smoke.sh — end-to-end replication + resharding round trip:
+# boots a 2-backend ring behind a replicating router, registers a
+# corpus through it, then grows the ring to 3 backends with
+# cmd/xpathreshard (dry-run first, then the real move) and verifies
+# every document answers on the new ring — including from the node
+# that did not exist when the corpus was written — and that a re-run
+# is an idempotent no-op. CI runs this after cluster_smoke.sh:
+#
+#   bash scripts/reshard_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/xpathserve" ./cmd/xpathserve
+go build -o "$bin/xpathrouter" ./cmd/xpathrouter
+go build -o "$bin/xpathreshard" ./cmd/xpathreshard
+
+old_peers=http://127.0.0.1:7111,http://127.0.0.1:7112
+new_peers=http://127.0.0.1:7111,http://127.0.0.1:7112,http://127.0.0.1:7113
+
+"$bin/xpathserve" -addr 127.0.0.1:7111 &
+"$bin/xpathserve" -addr 127.0.0.1:7112 &
+"$bin/xpathrouter" -addr 127.0.0.1:7110 -peers "$old_peers" \
+  -replicas 1 -replica-retry 1 -timeout 5s &
+
+wait_for() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "timed out waiting for $1" >&2
+  return 1
+}
+wait_for http://127.0.0.1:7111/healthz
+wait_for http://127.0.0.1:7112/healthz
+wait_for http://127.0.0.1:7110/health
+
+# A corpus of 8 documents, written with 1 replica each.
+for i in $(seq 0 7); do
+  curl -fsS http://127.0.0.1:7110/documents \
+    -d "{\"name\":\"doc-$i\",\"xml\":\"<a><b/><b/></a>\"}" >/dev/null
+done
+
+# The third backend joins; the old ring does not know it yet.
+"$bin/xpathserve" -addr 127.0.0.1:7113 &
+wait_for http://127.0.0.1:7113/healthz
+
+# Dry run: a plan with pending copies, nothing moved.
+plan=$("$bin/xpathreshard" -from "$old_peers" -to "$new_peers" -replicas 1 -dry-run)
+echo "$plan" | grep -q 'copy' || { echo "dry run planned no copies:" >&2; echo "$plan" >&2; exit 1; }
+n=$(curl -fsS http://127.0.0.1:7113/healthz | grep -o '"documents": *[0-9]*' | grep -o '[0-9]*$')
+[ "$n" -eq 0 ] || { echo "dry run moved $n documents onto the new node" >&2; exit 1; }
+
+# The real move: old 2-ring -> new 3-ring, 1 replica, pruning the
+# copies the new placement no longer wants.
+"$bin/xpathreshard" -from "$old_peers" -to "$new_peers" -replicas 1 -prune
+
+# The new node now owns part of the corpus.
+n=$(curl -fsS http://127.0.0.1:7113/healthz | grep -o '"documents": *[0-9]*' | grep -o '[0-9]*$')
+[ "$n" -ge 1 ] || { echo "new node holds no documents after reshard" >&2; exit 1; }
+echo "new node :7113 holds $n documents"
+
+# A router over the NEW ring answers every document with the right
+# value — zero lost documents. The answer cache is off so every answer
+# provably comes from a backend.
+"$bin/xpathrouter" -addr 127.0.0.1:7114 -peers "$new_peers" \
+  -replicas 1 -replica-retry 1 -ring-generation 2 -answer-cache 0 -timeout 5s &
+wait_for http://127.0.0.1:7114/health
+for i in $(seq 0 7); do
+  out=$(curl -fsS "http://127.0.0.1:7114/query?doc=doc-$i&q=count(//b)")
+  echo "$out" | grep -q '"number": *2' || { echo "doc-$i lost in reshard: $out" >&2; exit 1; }
+done
+
+# Idempotent: a second run copies nothing.
+again=$("$bin/xpathreshard" -from "$old_peers" -to "$new_peers" -replicas 1 -prune)
+echo "$again" | grep -q 'resharded: 8 documents, 0 copies' \
+  || { echo "re-run was not a no-op:" >&2; echo "$again" >&2; exit 1; }
+
+echo "reshard smoke: OK (8 documents, 2 -> 3 nodes, new node holds $n, idempotent re-run)"
