@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// TestRepositoryIsClean is the smoke test the CI gate relies on: the
+// full analyzer suite over the whole module must produce no findings.
+// It calls the same load + run pipeline main does, so a regression in
+// either the analyzers or the tree fails `go test` too, not only the
+// standalone `go run ./cmd/xpathlint ./...`.
+func TestRepositoryIsClean(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	findings, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding: %s", f)
+	}
+}
+
+// TestDriverExitsZero runs the actual binary the way CI invokes it,
+// covering the flag parsing and exit-code contract.
+func TestDriverExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver binary")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/xpathlint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/xpathlint ./... failed: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cluster"
 )
@@ -59,7 +61,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xpathreshard: -to: %v\n", err)
 		os.Exit(2)
 	}
-	sum, err := cluster.Reshard(context.Background(), cluster.ReshardOptions{
+	// Interrupting the migration is safe (the run is resumable), so
+	// SIGINT/SIGTERM cancel the context and the copy pass stops at the
+	// next per-document call instead of being killed mid-stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sum, err := cluster.Reshard(ctx, cluster.ReshardOptions{
 		From:           fromNodes,
 		To:             toNodes,
 		FromGeneration: *fromGen,

@@ -58,7 +58,11 @@ func main() {
 	// xpatterns package.
 	xp := xpatterns.New(d)
 	fmt.Println("first-of-type elements:")
-	for _, n := range xp.FirstOfType() {
+	fot, err := xp.FirstOfType()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range fot {
 		fmt.Printf("  - <%s>\n", d.Name(n))
 	}
 }

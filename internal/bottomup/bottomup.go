@@ -129,6 +129,9 @@ func (ev *Evaluator) Table(e xpath.Expr) (map[semantics.Context]semantics.Value,
 // Section 5).
 func (ev *Evaluator) contexts(r xpath.Relev) ([]semantics.Context, error) {
 	n := ev.doc.Len()
+	if err := ev.cancel.CheckN(n); err != nil {
+		return nil, err
+	}
 	nodes := []xmltree.NodeID{xmltree.NilNode}
 	if r.Has(xpath.RelevNode) {
 		nodes = make([]xmltree.NodeID, n)

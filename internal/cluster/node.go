@@ -115,9 +115,10 @@ func NewNode(raw string, timeout time.Duration) (*Node, error) {
 		ResponseHeaderTimeout: timeout,
 	}
 	n := &Node{
-		name:   u.Host,
-		base:   u.String(),
-		unary:  &http.Client{Transport: tr, Timeout: timeout},
+		name:  u.Host,
+		base:  u.String(),
+		unary: &http.Client{Transport: tr, Timeout: timeout},
+		//lint:ignore ctxhttp a batch NDJSON stream legitimately outlives any fixed client timeout; each request is bounded by its context and the transport's dial and header timeouts
 		stream: &http.Client{Transport: tr},
 	}
 	n.healthy.Store(true) // optimistic until a probe or call says otherwise

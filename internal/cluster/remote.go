@@ -66,6 +66,7 @@ func (r *Remote) note(err error) {
 }
 
 func (r *Remote) callCtx() (context.Context, context.CancelFunc) {
+	//lint:ignore ctxhttp the store.Store interface methods have no context parameter; each call is bounded by the per-call timeout instead
 	return context.WithTimeout(context.Background(), r.timeout)
 }
 
@@ -136,15 +137,29 @@ func (r *Remote) Range(f func(key string, v string, size int64) bool) {
 // monotonic version — what the reshard tool streams when it moves a
 // corpus between rings while preserving versions.
 func (r *Remote) RangeDocuments(f func(info serve.DocInfo) bool) {
-	ctx, cancel := r.callCtx()
-	defer cancel()
-	docs, err := r.node.Documents(ctx)
+	//lint:ignore ctxhttp interface-shaped convenience wrapper; callers with a context use RangeDocumentsContext
+	r.RangeDocumentsContext(context.Background(), f)
+}
+
+// RangeDocumentsContext is RangeDocuments tied to a caller context:
+// every listing and per-document fetch derives its per-call timeout
+// from ctx, so cancelling ctx stops the walk at the next call — a
+// corpus-sized stream (the reshard copy pass) is abandonable instead
+// of running to completion one swallowed timeout at a time.
+func (r *Remote) RangeDocumentsContext(ctx context.Context, f func(info serve.DocInfo) bool) {
+	lctx, cancel := context.WithTimeout(ctx, r.timeout)
+	docs, err := r.node.Documents(lctx)
+	cancel()
 	r.note(err)
 	if err != nil {
 		return
 	}
 	for _, d := range docs {
-		fctx, fcancel := r.callCtx()
+		if ctx.Err() != nil {
+			r.note(ctx.Err())
+			return
+		}
+		fctx, fcancel := context.WithTimeout(ctx, r.timeout)
 		info, err := r.node.GetDocument(fctx, d.Name)
 		fcancel()
 		if errors.Is(err, ErrNotFound) {

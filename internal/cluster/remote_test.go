@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -118,5 +119,61 @@ func TestRemoteTypedErrors(t *testing.T) {
 	}
 	if b.node.Healthy() {
 		t.Fatal("node still marked healthy after connection failures")
+	}
+}
+
+// TestRangeDocumentsContextCancelled pins the regression the ctxhttp
+// analyzer guards against: a corpus walk must be tied to its caller's
+// context. A cancelled context stops the walk — before the listing
+// when cancelled up front, and between per-document fetches when
+// cancelled mid-walk — instead of the walk grinding through every
+// document on swallowed timeouts.
+func TestRangeDocumentsContextCancelled(t *testing.T) {
+	b := newBackend(t, store.Config{})
+	r := NewRemote(b.node, 5*time.Second)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := r.Put(name, "<d><e/></d>", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	visited := 0
+	r.RangeDocumentsContext(ctx, func(serve.DocInfo) bool {
+		visited++
+		return true
+	})
+	if visited != 0 {
+		t.Fatalf("pre-cancelled walk visited %d documents, want 0", visited)
+	}
+	if err := r.Err(); err == nil {
+		t.Fatal("pre-cancelled walk left Err() nil; the failure was swallowed")
+	}
+
+	// Cancelling mid-walk stops before the next fetch.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	visited = 0
+	r.RangeDocumentsContext(ctx, func(serve.DocInfo) bool {
+		visited++
+		cancel()
+		return true
+	})
+	if visited != 1 {
+		t.Fatalf("mid-walk cancellation visited %d documents, want 1", visited)
+	}
+
+	// An undisturbed context changes nothing: all three visited.
+	visited = 0
+	r.RangeDocumentsContext(context.Background(), func(serve.DocInfo) bool {
+		visited++
+		return true
+	})
+	if visited != 3 {
+		t.Fatalf("uncancelled walk visited %d documents, want 3", visited)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("uncancelled walk Err() = %v, want nil", err)
 	}
 }

@@ -214,7 +214,7 @@ func Reshard(ctx context.Context, opts ReshardOptions) (ReshardSummary, error) {
 			continue
 		}
 		remote := NewRemote(byURL[srcURL], opts.Timeout)
-		remote.RangeDocuments(func(info serve.DocInfo) bool {
+		remote.RangeDocumentsContext(ctx, func(info serve.DocInfo) bool {
 			if len(pending) == 0 {
 				return false // every planned copy from this source is done
 			}

@@ -227,6 +227,7 @@ func (r *Router) CheckHealth() int {
 		wg.Add(1)
 		go func(n *Node) {
 			defer wg.Done()
+			//lint:ignore ctxhttp the background health prober owns its probes; each is bounded by the configured timeout, and Stop ends the loop between rounds
 			ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
 			defer cancel()
 			n.Healthz(ctx)

@@ -230,11 +230,15 @@ func (ev *Evaluator) e1(e xpath.Expr) (*xmltree.Bitset, error) {
 // testSet returns T(t) under the axis's principal node type over the
 // whole document: the starting set of a backward pass. Exact element
 // name tests are answered by the label index in O(matches); other tests
-// scan dom once.
-func (ev *Evaluator) testSet(a axes.Axis, t xpath.NodeTest) xmltree.NodeSet {
+// scan dom once — billed as one whole-document operation so a scan
+// over a large document stays cancellable.
+func (ev *Evaluator) testSet(a axes.Axis, t xpath.NodeTest) (xmltree.NodeSet, error) {
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
+	}
 	if evalutil.ExactElementName(a, t) {
 		// Copy: callers filter the set in place.
-		return append(xmltree.NodeSet(nil), ev.doc.Index().Named(t.Name)...)
+		return append(xmltree.NodeSet(nil), ev.doc.Index().Named(t.Name)...), nil
 	}
 	principal := a.PrincipalType()
 	var out xmltree.NodeSet
@@ -243,7 +247,7 @@ func (ev *Evaluator) testSet(a axes.Axis, t xpath.NodeTest) xmltree.NodeSet {
 			out = append(out, xmltree.NodeID(i))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // sBack computes S←[[π]] = {x | S↓[[π]]({x}) ≠ ∅}: backward propagation
@@ -269,7 +273,11 @@ func (ev *Evaluator) sBack(p *xpath.Path) (*xmltree.Bitset, error) {
 		// cur' = χ⁻¹(cur ∩ T(t) ∩ E1[[e1]] ∩ … ∩ E1[[em]])
 		var s xmltree.NodeSet
 		if i == len(p.Steps)-1 {
-			s = ev.testSet(step.Axis, step.Test)
+			var err error
+			s, err = ev.testSet(step.Axis, step.Test)
+			if err != nil {
+				return nil, err
+			}
 		} else {
 			s = evalutil.FilterTest(ev.doc, step.Axis, step.Test, cur)
 		}

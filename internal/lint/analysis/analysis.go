@@ -1,0 +1,56 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named
+// check, a Pass hands it one type-checked package, and diagnostics are
+// positions plus messages. The build environment for this repository is
+// hermetic (no module proxy), so the real x/tools module cannot be
+// depended on; this package keeps the same shape so the analyzers in
+// internal/lint/... could be ported to the upstream framework by
+// changing only their import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description of the invariant the
+	// analyzer enforces (shown by `xpathlint -help`).
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through the pass. The error return is for operational failures
+	// (not findings); a finding is a Diagnostic.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,115 @@
+// Package ctxhttp enforces context plumbing and timeouts on the HTTP
+// client side, where the cluster layer talks to peer nodes. The rules:
+//
+//   - http.Get/Post/PostForm/Head and http.NewRequest build requests
+//     without a context — a dead client or a cancelled query cannot
+//     stop them; use http.NewRequestWithContext.
+//   - http.DefaultClient and http.Client literals without a Timeout
+//     never give up on a stuck peer (a streaming client may set
+//     deadlines per request instead — annotate it).
+//   - context.Background()/TODO() inside a function that was handed a
+//     context discards the caller's cancellation; in package cluster,
+//     any Background()/TODO() outside func main is suspect, because
+//     every cluster call should descend from a request or tool context.
+package ctxhttp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags context-free HTTP calls and clients without timeouts.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxhttp",
+	Doc: "flags HTTP requests built without a context, clients without " +
+		"timeouts, and context.Background() where a caller's context is " +
+		"in scope (or anywhere in the cluster package)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes pkgName.funcName (a
+// package-level function, not a method).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgName string, names ...string) (string, bool) {
+	fn := lintutil.CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != pkgName {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, v := range lintutil.ReceiverAndParams(info, fd) {
+		if lintutil.Is(v.Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ctxInScope := hasCtxParam(pass.TypesInfo, fd)
+	inCluster := pass.Pkg.Name() == "cluster" && fd.Name.Name != "main"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := isPkgFunc(pass.TypesInfo, x, "http", "Get", "Post", "PostForm", "Head"); ok {
+				pass.Reportf(x.Pos(), "http.%s sends a request with no context; build it with http.NewRequestWithContext so cancellation reaches the transport", name)
+				return true
+			}
+			if _, ok := isPkgFunc(pass.TypesInfo, x, "http", "NewRequest"); ok {
+				pass.Reportf(x.Pos(), "http.NewRequest builds a context-free request; use http.NewRequestWithContext")
+				return true
+			}
+			if name, ok := isPkgFunc(pass.TypesInfo, x, "context", "Background", "TODO"); ok {
+				if ctxInScope {
+					pass.Reportf(x.Pos(), "context.%s discards the context this function was handed; derive from it instead", name)
+				} else if inCluster {
+					pass.Reportf(x.Pos(), "context.%s in the cluster layer detaches this call from every caller; thread a context through (or annotate why the call is a background root)", name)
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok &&
+				obj.Name() == "DefaultClient" && obj.Pkg() != nil && obj.Pkg().Name() == "http" {
+				pass.Reportf(x.Pos(), "http.DefaultClient has no timeout; use a client with Timeout set")
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[x]
+			if !ok || !lintutil.Is(tv.Type, "http", "Client") {
+				return true
+			}
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+						return true
+					}
+				}
+			}
+			pass.Reportf(x.Pos(), "http.Client built without a Timeout never gives up on a stuck peer; set Timeout (or annotate a streaming client that bounds requests per call)")
+		}
+		return true
+	})
+}

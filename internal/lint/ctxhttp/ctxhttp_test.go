@@ -1,0 +1,12 @@
+package ctxhttp_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxhttp"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, ctxhttp.Analyzer, "ctxhttp")
+}

@@ -1,0 +1,51 @@
+// Package lint assembles the repository's analyzer suite and runs it
+// over type-checked packages, honouring //lint:ignore suppressions.
+// cmd/xpathlint is the driver; CI runs it as a gate.
+//
+// The analyzers and the invariant each one encodes:
+//
+//   - cancelcheck: a function with access to an evalutil.Canceller
+//     that loops over document-sized data (a NodeSet, the node arena)
+//     must consult it — bill the loop with CheckN up front or call
+//     Check inside the body, directly or through a helper that does.
+//     Otherwise a cancelled query keeps burning its worker until the
+//     loop drains.
+//
+//   - lockshard: fields declared after a sync.Mutex/RWMutex in a
+//     struct (until the next mutex or sync.Once) are guarded by it:
+//     reads need the lock or read-lock, writes need the write lock,
+//     and a deferred Unlock before the Lock is flagged. Methods named
+//     *Locked assert the caller already holds the lock; values fresh
+//     out of a constructor are exempt.
+//
+//   - sharedset: posting lists returned by xmltree.Index (Named,
+//     NamedRange) are shared sub-slices — mutating them in place
+//     (Normalized, Reversed, element stores, append, IntersectSet's
+//     destination) is flagged unless the set was Cloned first, and
+//     pooled Scratch may not escape the evaluation that acquired it
+//     via a struct field or a return.
+//
+//   - wiretag: in the wire packages (serve, cluster) every exported
+//     field of a json-tagged struct carries a json tag, and keyed
+//     literals of structs with a Version field must set it (or assign
+//     it before use) so version-keyed caches can invalidate.
+//
+//   - ctxhttp: no context-free HTTP (http.Get and friends,
+//     http.NewRequest, http.DefaultClient, http.Client without a
+//     Timeout) and no context.Background/TODO where a caller's
+//     context is in scope — in the cluster package, anywhere outside
+//     main.
+//
+// A finding is suppressed by a directive comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it
+// (<analyzer> may be * to match any). The reason is mandatory: an
+// ignore without one is itself reported, as is a directive that no
+// longer suppresses anything, so suppressions cannot silently rot.
+//
+// See the README's "Correctness tooling" section for the user-facing
+// summary, and internal/lint/linttest for the fixture harness the
+// analyzer tests run on.
+package lint

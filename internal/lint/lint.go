@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Finding is one diagnostic, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// ignore is one parsed //lint:ignore directive.
+type ignore struct {
+	analyzer string // analyzer name, or "*" for all
+	reason   string
+	file     string
+	line     int // line the directive comment starts on
+	used     bool
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// findings sorted by position. Suppressed findings are dropped;
+// malformed or unused directives are reported as findings themselves
+// so suppressions cannot silently rot.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(ignores[pos.Filename], a.Name, pos.Line) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, igs := range ignores {
+			for _, ig := range igs {
+				if !ig.used && (ig.analyzer == "*" || ran[ig.analyzer]) {
+					findings = append(findings, Finding{
+						Analyzer: "lint",
+						Pos:      token.Position{Filename: ig.file, Line: ig.line},
+						Message:  fmt.Sprintf("unused //lint:ignore directive for %s: the finding it suppressed is gone; remove it", ig.analyzer),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// collectIgnores parses every //lint:ignore directive in the package,
+// keyed by filename. Malformed directives (missing analyzer or reason)
+// are returned as findings.
+func collectIgnores(pkg *load.Package) (map[string][]*ignore, []Finding) {
+	byFile := map[string][]*ignore{}
+	var bad []Finding
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				parts := strings.Fields(rest)
+				if len(parts) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], &ignore{
+					analyzer: parts[0],
+					reason:   strings.Join(parts[1:], " "),
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// suppressed reports whether a finding by analyzer on line is covered
+// by a directive on the same line or the line above.
+func suppressed(igs []*ignore, analyzer string, line int) bool {
+	for _, ig := range igs {
+		if ig.analyzer != analyzer && ig.analyzer != "*" {
+			continue
+		}
+		if ig.line == line || ig.line == line-1 {
+			ig.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// File returns the syntax tree containing pos, or nil.
+func File(pkg *load.Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Syntax {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

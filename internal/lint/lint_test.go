@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxhttp"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/load"
+)
+
+// TestIgnoreDirectives pins down the suppression semantics: a
+// //lint:ignore directive on the flagged line or the line immediately
+// above suppresses the finding, `*` matches any analyzer, a directive
+// without a reason is reported as malformed (and suppresses nothing),
+// and a directive left with nothing to suppress is reported as unused.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := linttest.LoadFixture(t, "ignore")
+	findings, err := lint.Run([]*load.Package{pkg}, []*analysis.Analyzer{ctxhttp.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	file := pkg.Fset.Position(pkg.Syntax[0].Pos()).Filename
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(src), "\n")
+	lineWhere := func(pred func(string) bool, desc string) int {
+		for i, l := range lines {
+			if pred(l) {
+				return i + 1
+			}
+		}
+		t.Fatalf("no line matching %s in %s", desc, file)
+		return 0
+	}
+	lineOf := func(marker string) int {
+		return lineWhere(func(l string) bool { return strings.Contains(l, marker) }, marker)
+	}
+
+	type exp struct {
+		line    int
+		message string
+	}
+	want := []exp{
+		{lineWhere(func(l string) bool {
+			return strings.TrimSpace(l) == "//lint:ignore ctxhttp"
+		}, "the bare directive"), "malformed //lint:ignore"},
+		{lineOf("marker: after-malformed"), "http.Get sends a request with no context"},
+		{lineOf("marker: surviving"), "http.Get sends a request with no context"},
+		{lineOf("fixture: stale directive"), "unused //lint:ignore directive for ctxhttp"},
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].line < want[j].line })
+
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		f := findings[i]
+		if f.Pos.Line != w.line || !strings.Contains(f.Message, w.message) {
+			t.Errorf("finding %d = %s:%d %q, want line %d containing %q",
+				i, filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message, w.line, w.message)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package linttest is the repository's analysistest: it type-checks a
+// fixture package under internal/lint/testdata/src/<name> against the
+// real repository's dependency graph, runs one analyzer over it, and
+// compares the diagnostics against `// want "regexp"` comments in the
+// fixture — one want per expected diagnostic, on the line it is
+// expected at. Fixtures import real repository packages (evalutil,
+// xmltree, net/http, ...), so the seeded violations exercise the same
+// type matching the production run does.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// exports is built once per test binary: one `go list -export` walk of
+// the module gives every fixture its import universe.
+var exports = sync.OnceValues(func() (*load.Exports, error) {
+	root, err := ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	return load.List(root, "./...")
+})
+
+// ModuleRoot locates the enclosing module by walking up to go.mod.
+func ModuleRoot() (string, error) {
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadFixture type-checks testdata/src/<fixture> against the module's
+// export data and returns the package, for tests that drive lint.Run
+// directly (the suppression-semantics tests).
+func LoadFixture(t *testing.T, fixture string) *load.Package {
+	t.Helper()
+	exp, err := exports()
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", fixture)
+	pkg, err := exp.CheckDir(token.NewFileSet(), dir, "testdata/"+fixture)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+	return pkg
+}
+
+// want is one expectation: a diagnostic on a line matching a regexp.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	met  bool
+}
+
+// Run type-checks testdata/src/<fixture>, applies the analyzer through
+// the lint runner (so //lint:ignore directives behave as in
+// production), and enforces the fixture's want comments exactly: every
+// diagnostic must be wanted, every want must be diagnosed.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	exp, err := exports()
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", fixture)
+	fset := token.NewFileSet()
+	pkg, err := exp.CheckDir(fset, dir, "testdata/"+fixture)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+	wants := collectWants(t, pkg)
+	findings, err := lint.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		if !consume(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("missing diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.src)
+		}
+	}
+}
+
+// collectWants scans the fixture's comments for want expectations.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, src := range splitQuoted(t, pos, text) {
+					re, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, src, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, src: src})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses the sequence of Go-quoted (or backquoted) strings
+// after a want marker.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want expectation %q: %v", pos.Filename, pos.Line, s, err)
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want expectation %q: %v", pos.Filename, pos.Line, prefix, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}
+
+func consume(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}

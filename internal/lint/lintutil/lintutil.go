@@ -1,0 +1,89 @@
+// Package lintutil holds the small type-matching helpers the analyzers
+// share. Types are matched by package *name* plus type name (not full
+// import path) so the same analyzer logic applies to the real
+// repository packages and to the fixture packages under testdata.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Named returns the named type behind t — through aliases, one level
+// of pointer, and generic instantiation — or nil.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Origin()
+	}
+	return nil
+}
+
+// Is reports whether t (through pointers and aliases) is the named
+// type pkgName.typeName.
+func Is(t types.Type, pkgName, typeName string) bool {
+	n := Named(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == typeName
+}
+
+// CalleeOf resolves a call expression to the *types.Func it invokes
+// (function, method, or method value), or nil for builtins, conversions
+// and indirect calls through plain function values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// StructFields returns the fields of the struct behind t (through
+// pointers and instantiation), or nil.
+func StructFields(t types.Type) []*types.Var {
+	n := Named(t)
+	if n == nil {
+		return nil
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make([]*types.Var, st.NumFields())
+	for i := range out {
+		out[i] = st.Field(i)
+	}
+	return out
+}
+
+// ReceiverAndParams returns the declared receiver (possibly nil) and
+// parameters of a function declaration, as type objects.
+func ReceiverAndParams(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package load type-checks packages of the surrounding module without
+// golang.org/x/tools/go/packages: it shells out to `go list -export`
+// for the dependency graph and compiled export data, then parses and
+// checks the target packages' source with go/parser + go/types, using
+// the gc importer's lookup hook to resolve imports from the export
+// files. This works fully offline (the toolchain's build cache is the
+// only artifact store) and costs one `go list` plus one source
+// type-check per target package.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` this loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Exports resolves import paths to compiled export data files, as
+// reported by one `go list -export -deps` run.
+type Exports struct {
+	dir     string
+	files   map[string]string // import path -> export data file
+	targets []listedPkg       // the non-dep packages the patterns named
+}
+
+// List builds the export map for the packages matched by patterns
+// (and every dependency), running `go list` in dir. Test files are not
+// part of the graph: analyzers see production code only.
+func List(dir string, patterns ...string) (*Exports, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// cgo-free resolution: the pure-Go file sets type-check from
+	// source; with cgo on, packages like net would list .go files that
+	// import "C".
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	e := &Exports{dir: dir, files: map[string]string{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			e.files[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			e.targets = append(e.targets, p)
+		}
+	}
+	sort.Slice(e.targets, func(i, j int) bool { return e.targets[i].ImportPath < e.targets[j].ImportPath })
+	return e, nil
+}
+
+// lookup opens the export data for one import path — the gc importer's
+// resolution hook.
+func (e *Exports) lookup(path string) (io.ReadCloser, error) {
+	f, ok := e.files[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q (not in the `go list -deps` graph)", path)
+	}
+	return os.Open(f)
+}
+
+// Importer returns a types.Importer resolving against the export map.
+// Each call returns a fresh importer (with its own package cache) so
+// concurrent type-checks do not share state.
+func (e *Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", e.lookup)
+}
+
+// CheckDir parses every non-test .go file in dir as one package and
+// type-checks it against the export map — how testdata packages (which
+// the go tool itself ignores) are loaded for analysis tests.
+func (e *Exports) CheckDir(fset *token.FileSet, dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return e.check(fset, pkgPath, dir, files)
+}
+
+// check parses the named files and type-checks them as one package.
+func (e *Exports) check(fset *token.FileSet, pkgPath, dir string, goFiles []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: e.Importer(fset)}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath, Name: tpkg.Name(), Dir: dir,
+		Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info,
+	}, nil
+}
+
+// Packages loads, parses and type-checks every package matched by
+// patterns, rooted at dir. One shared FileSet spans all of them.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	exp, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range exp.targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := exp.check(fset, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

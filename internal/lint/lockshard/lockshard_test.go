@@ -1,0 +1,12 @@
+package lockshard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockshard"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, lockshard.Analyzer, "lockshard")
+}

@@ -1,0 +1,227 @@
+// Package sharedset enforces the aliasing contract around
+// xmltree.Index: the NodeSets returned by Index.Named and
+// Index.NamedRange are (sub-slices of) the index's own posting lists —
+// shared by every evaluator over the document — and must never be
+// mutated. A taint walk per function marks values derived from
+// posting lists and flags
+// the mutating operations on them: the in-place Normalized/Reversed
+// methods, append (which writes the backing array when capacity
+// allows), element assignment, and use as the destination argument of
+// Bitset.IntersectSet. Clone() and copying into a fresh slice
+// (append(NodeSet(nil), s...)) launder the taint.
+//
+// The same walk guards pooled evaluator scratch: values obtained from
+// Index.AcquireScratch or a sync.Pool's Get must stay local to the
+// evaluation — storing one (or a field of one) into a struct field, or
+// returning it, lets it escape past the matching Put and aliases two
+// evaluations into the same buffers.
+//
+// Package xmltree itself is exempt: the index owns its posting lists
+// and builds them in place.
+package sharedset
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags mutation of shared posting lists and pooled scratch
+// escaping its evaluation.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedset",
+	Doc: "flags mutation of NodeSets obtained from xmltree.Index posting " +
+		"lists (Named/NamedRange) and pooled scratch (AcquireScratch, " +
+		"sync.Pool Get) escaping into struct fields or returns",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "xmltree" {
+		return nil // the index owns its posting lists
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isPostingCall reports whether call yields a shared posting list:
+// Index.Named, or Index.NamedRange (a sub-slice of the same backing
+// array).
+func isPostingCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeOf(info, call)
+	if fn == nil || (fn.Name() != "Named" && fn.Name() != "NamedRange") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && lintutil.Is(sig.Recv().Type(), "xmltree", "Index")
+}
+
+// isScratchCall reports whether call yields pooled scratch:
+// Index.AcquireScratch or (*sync.Pool).Get.
+func isScratchCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	if fn.Name() == "AcquireScratch" && lintutil.Is(sig.Recv().Type(), "xmltree", "Index") {
+		return true
+	}
+	return fn.Name() == "Get" && lintutil.Is(sig.Recv().Type(), "sync", "Pool")
+}
+
+// checkFunc taints posting-list and scratch values flowing through one
+// function body (closures included — ast.Inspect descends into FuncLit
+// bodies with the same taint maps) and reports the violations.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	shared := map[types.Object]bool{}  // posting-list tainted locals
+	scratch := map[types.Object]bool{} // pooled scratch locals
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+
+	// sharedExpr reports whether e evaluates to a (possibly re-sliced)
+	// shared posting list.
+	var sharedExpr func(e ast.Expr) bool
+	sharedExpr = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			o := objOf(x)
+			return o != nil && shared[o]
+		case *ast.CallExpr:
+			return isPostingCall(pass.TypesInfo, x)
+		case *ast.SliceExpr:
+			return sharedExpr(x.X)
+		}
+		return false
+	}
+	scratchExpr := func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			o := objOf(x)
+			return o != nil && scratch[o]
+		case *ast.SelectorExpr:
+			// A field of a scratch value (Visited, Mark, Work) carries
+			// the same lifetime as the scratch itself.
+			o := objOf(x.X)
+			return o != nil && scratch[o]
+		case *ast.CallExpr:
+			return isScratchCall(pass.TypesInfo, x)
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				r := x.Rhs[i]
+				// Propagate / launder taint through the assignment.
+				if o := objOf(l); o != nil {
+					shared[o] = sharedExpr(r) || isAliasingAppend(pass, r, sharedExpr)
+					scratch[o] = scratchExpr(r)
+				}
+				// Element assignment into a shared list.
+				if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok && sharedExpr(idx.X) {
+					pass.Reportf(l.Pos(), "element assignment into a shared posting list from xmltree.Index; Clone it first")
+				}
+				// Scratch escaping into a struct field.
+				if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok && scratchExpr(r) {
+					if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						pass.Reportf(x.Pos(), "pooled scratch stored into a struct field escapes its evaluation; keep scratch local and release it")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if scratchExpr(r) {
+					pass.Reportf(r.Pos(), "pooled scratch returned from the function escapes past its release")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x, sharedExpr, scratchExpr)
+		}
+		return true
+	})
+}
+
+// isAliasingAppend reports whether r is append(first, ...) where first
+// is shared — the result may still alias the posting list's backing
+// array, so the taint propagates (and the append itself is reported by
+// checkCall).
+func isAliasingAppend(pass *analysis.Pass, r ast.Expr, sharedExpr func(ast.Expr) bool) bool {
+	call, ok := ast.Unparen(r).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return sharedExpr(call.Args[0])
+}
+
+// checkCall reports mutating calls on shared posting lists.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, sharedExpr, scratchExpr func(ast.Expr) bool) {
+	// append(shared, ...): may write the shared backing array.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && sharedExpr(call.Args[0]) {
+			pass.Reportf(call.Pos(), "append to a shared posting list from xmltree.Index may write its backing array; Clone it or append to a fresh set")
+			return
+		}
+	}
+	fn := lintutil.CalleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// NodeSet.Normalized()/Reversed() sort or reverse in place.
+	if lintutil.Is(sig.Recv().Type(), "xmltree", "NodeSet") {
+		switch fn.Name() {
+		case "Normalized", "Reversed", "Add":
+			if sharedExpr(sel.X) {
+				pass.Reportf(call.Pos(), "%s mutates in place a shared posting list from xmltree.Index; Clone it first", fn.Name())
+			}
+		}
+	}
+	// Bitset.IntersectSet(s, dst) writes dst.
+	if lintutil.Is(sig.Recv().Type(), "xmltree", "Bitset") && fn.Name() == "IntersectSet" && len(call.Args) == 2 {
+		if sharedExpr(call.Args[1]) {
+			pass.Reportf(call.Args[1].Pos(), "shared posting list used as IntersectSet's destination is written in place; Clone it first")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package sharedset_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/sharedset"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, sharedset.Analyzer, "sharedset")
+}

@@ -1,0 +1,59 @@
+// Fixture for the ctxhttp analyzer. The package is named "cluster" to
+// exercise the stricter rule there: any context.Background outside
+// main detaches a cluster call from every caller.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Seeded violation: a context-free request helper.
+func fetch(url string) {
+	http.Get(url) // want `http.Get sends a request with no context`
+}
+
+// Seeded violation: context-free request construction.
+func build(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http.NewRequest builds a context-free request`
+}
+
+// Seeded violation: the default client never times out.
+func send(req *http.Request) (*http.Response, error) {
+	return http.DefaultClient.Do(req) // want `http.DefaultClient has no timeout`
+}
+
+// Seeded violation: a client literal without a Timeout.
+func client() *http.Client {
+	return &http.Client{Transport: http.DefaultTransport} // want `http.Client built without a Timeout`
+}
+
+func clientWithTimeout() *http.Client {
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Seeded violation: discarding the caller's context.
+func discard(ctx context.Context, req *http.Request) (*http.Response, error) {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background discards the context this function was handed`
+	defer cancel()
+	return clientWithTimeout().Do(req.WithContext(c))
+}
+
+// The right shape: derive from the caller's context.
+func derive(ctx context.Context, req *http.Request) (*http.Response, error) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return clientWithTimeout().Do(req.WithContext(c))
+}
+
+// Seeded violation: in the cluster layer even a context-less function
+// may not detach from its callers.
+func detached() context.Context {
+	return context.Background() // want `context.Background in the cluster layer detaches this call`
+}
+
+// func main is the one place a background root belongs.
+func main() {
+	_ = context.Background()
+}

@@ -1,0 +1,43 @@
+// Fixture for the lint runner's //lint:ignore handling. The ctxhttp
+// violations here are deliberate: the directives around them exercise
+// same-line suppression, line-above suppression, the `*` wildcard,
+// the malformed form (no reason), and the unused form (nothing left
+// to suppress).
+package ignore
+
+import "net/http"
+
+// A directive on the flagged line suppresses the finding.
+func sameLine(url string) {
+	http.Get(url) //lint:ignore ctxhttp fixture: suppressed on the same line
+}
+
+// A directive on the line immediately above suppresses the finding.
+func lineAbove(url string) {
+	//lint:ignore ctxhttp fixture: suppressed from the line above
+	http.Get(url)
+}
+
+// A wildcard directive suppresses findings from any analyzer.
+func wildcard(url string) {
+	//lint:ignore * fixture: wildcard suppression
+	http.Get(url)
+}
+
+// No directive: the finding survives.
+func surviving(url string) {
+	http.Get(url) // marker: surviving
+}
+
+// A directive without a reason is malformed — reported itself, and it
+// suppresses nothing, so the finding below survives too.
+func malformed(url string) {
+	//lint:ignore ctxhttp
+	http.Get(url) // marker: after-malformed
+}
+
+// A directive with nothing to suppress is reported as unused.
+func stale() int {
+	//lint:ignore ctxhttp fixture: stale directive
+	return http.StatusOK
+}

@@ -1,0 +1,73 @@
+// Fixture for the lockshard analyzer: fields declared after a
+// sync.Mutex/RWMutex are guarded by it.
+package lockshard
+
+import "sync"
+
+type cache struct {
+	name string // before the mutex: unguarded
+
+	mu    sync.Mutex
+	items map[string]int
+	bytes int64
+}
+
+// Correct: read under the lock, released by defer.
+func (c *cache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+// Unguarded fields stay free.
+func (c *cache) title() string { return c.name }
+
+// Seeded violation: read without the lock.
+func (c *cache) badRead(k string) int {
+	return c.items[k] // want `read of c.items without holding c.mu`
+}
+
+// Seeded violation: the lock was already released.
+func (c *cache) badWrite(k string, v int) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.items[k] = v // want `write to c.items without holding c.mu`
+}
+
+// Seeded violation: the classic defer-before-Lock ordering bug.
+func (c *cache) deferBeforeLock() {
+	defer c.mu.Unlock() // want `deferred Unlock of c.mu while the lock is not held`
+	c.mu.Lock()
+	c.bytes++
+}
+
+// The *Locked naming convention: the caller holds the lock.
+func (c *cache) putLocked(k string, v int) {
+	c.items[k] = v
+}
+
+// Constructor-fresh values are exempt: nothing else can see c yet.
+func newCache() *cache {
+	c := &cache{}
+	c.items = map[string]int{}
+	return c
+}
+
+type counter struct {
+	mu   sync.RWMutex
+	hits int
+}
+
+// Correct: read under the read lock.
+func (r *counter) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hits
+}
+
+// Seeded violation: a write needs the write lock, not RLock.
+func (r *counter) badWriteUnderRLock() {
+	r.mu.RLock()
+	r.hits++ // want `write to r.hits without holding r.mu`
+	r.mu.RUnlock()
+}

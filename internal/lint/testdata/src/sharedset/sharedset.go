@@ -1,0 +1,94 @@
+// Fixture for the sharedset analyzer: posting lists handed out by
+// xmltree.Index are shared and must not be mutated; pooled scratch
+// must not escape its evaluation.
+package sharedset
+
+import "repro/internal/xmltree"
+
+type holder struct {
+	scratch *xmltree.Scratch
+	work    []xmltree.NodeID
+}
+
+// Seeded violation: Normalized sorts the shared posting list in place.
+func mutateInPlace(d *xmltree.Document) xmltree.NodeSet {
+	s := d.Index().Named("a")
+	return s.Normalized() // want `Normalized mutates in place a shared posting list`
+}
+
+// Taint flows through a NamedRange sub-slice and a re-slice.
+func mutateRange(d *xmltree.Document) xmltree.NodeSet {
+	s := d.Index().NamedRange("a", 0, 100)
+	t := s[1:]
+	return t.Reversed() // want `Reversed mutates in place a shared posting list`
+}
+
+// Seeded violation: append may write the shared backing array.
+func appendShared(d *xmltree.Document, n xmltree.NodeID) xmltree.NodeSet {
+	s := d.Index().Named("a")
+	return append(s, n) // want `append to a shared posting list`
+}
+
+// Seeded violation: element assignment into the shared list.
+func stompElement(d *xmltree.Document) {
+	s := d.Index().Named("a")
+	s[0] = 0 // want `element assignment into a shared posting list`
+}
+
+// Seeded violation: IntersectSet writes its destination argument.
+func intersectInto(d *xmltree.Document, b *xmltree.Bitset) xmltree.NodeSet {
+	s := d.Index().Named("a")
+	return b.IntersectSet(s, s) // want `shared posting list used as IntersectSet's destination`
+}
+
+// Clone launders the taint: a fresh copy is mutable.
+func cloneThenMutate(d *xmltree.Document) xmltree.NodeSet {
+	s := d.Index().Named("a").Clone()
+	return s.Normalized()
+}
+
+// Reassignment from an untainted value kills the taint.
+func retainted(d *xmltree.Document) xmltree.NodeSet {
+	s := d.Index().Named("a")
+	s = xmltree.NodeSet{1, 2, 3}
+	return s.Normalized()
+}
+
+// Seeded violation: scratch stored into a struct field escapes the
+// evaluation that acquired it.
+func (h *holder) keepScratch(d *xmltree.Document) {
+	sc := d.Index().AcquireScratch()
+	h.scratch = sc // want `pooled scratch stored into a struct field`
+	d.Index().ReleaseScratch(sc)
+}
+
+// Seeded violation: a field of the scratch shares its lifetime.
+func (h *holder) keepScratchField(d *xmltree.Document) {
+	sc := d.Index().AcquireScratch()
+	h.work = sc.Work // want `pooled scratch stored into a struct field`
+	d.Index().ReleaseScratch(sc)
+}
+
+// Seeded violation: returned scratch outlives its release.
+func leakScratch(d *xmltree.Document) *xmltree.Scratch {
+	sc := d.Index().AcquireScratch()
+	defer d.Index().ReleaseScratch(sc)
+	return sc // want `pooled scratch returned from the function`
+}
+
+// Local use with release is the intended shape.
+func useScratch(d *xmltree.Document, set xmltree.NodeSet) int {
+	sc := d.Index().AcquireScratch()
+	defer d.Index().ReleaseScratch(sc)
+	n := 0
+	for _, id := range set {
+		if !sc.Visited.Has(id) {
+			sc.Visited.Add(id)
+			n++
+		}
+	}
+	for _, id := range set {
+		sc.Visited.Remove(id)
+	}
+	return n
+}

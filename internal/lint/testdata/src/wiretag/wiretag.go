@@ -1,0 +1,54 @@
+// Fixture for the wiretag analyzer. The package is named "serve"
+// because the analyzer only patrols the wire packages (serve,
+// cluster).
+package serve
+
+type response struct {
+	Query   string `json:"query"`
+	Version uint64 `json:"version,omitempty"`
+	Status  string // want `exported field Status of a wire struct has no json tag`
+	hidden  int
+}
+
+// An embedded field is exempt: its own fields carry the tags.
+type line struct {
+	Index int `json:"index"`
+	response
+}
+
+type plain struct { // no json tags anywhere: not a wire struct
+	Name  string
+	Count int
+}
+
+func makeGood(v uint64) response {
+	return response{Query: "q", Version: v}
+}
+
+// Seeded violation: a keyed wire-struct literal that drops Version.
+func makeBad() response {
+	return response{Query: "q"} // want `response literal drops the Version field`
+}
+
+// A later explicit assignment satisfies the rule.
+func makeAssigned(v uint64) response {
+	r := response{Query: "q"}
+	r.Version = v
+	return r
+}
+
+// The embedded form carries no direct Version field: the inner
+// literal is where the rule applies.
+func makeLine(v uint64) line {
+	return line{Index: 1, response: response{Query: "q", Version: v}}
+}
+
+func usePlain() plain {
+	return plain{Name: "n", Count: 2}
+}
+
+func useHidden() response {
+	r := response{Query: "q", Version: 1}
+	r.hidden++
+	return r
+}

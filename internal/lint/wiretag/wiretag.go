@@ -1,0 +1,193 @@
+// Package wiretag enforces the wire-format invariants of the serve and
+// cluster packages. A wire struct is any struct with at least one
+// json-tagged field; once a struct is on the wire, every exported,
+// non-embedded field must carry a json tag — an untagged field
+// silently marshals under its Go name and ossifies into the protocol
+// unreviewed.
+//
+// The second rule guards version propagation: the answer caches in
+// front of a node are keyed (doc, query, version), so a response
+// constructed without its Version is a cache-poisoning bug, not a
+// cosmetic omission. Any non-empty keyed composite literal of a wire
+// struct that has a direct Version field must either set it or be
+// followed (in the same function) by an explicit .Version assignment.
+package wiretag
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags untagged exported fields of wire structs and response
+// literals that drop a Version field.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiretag",
+	Doc: "flags exported fields of serve/cluster wire structs (structs " +
+		"with any json-tagged field) lacking json tags, and wire-struct " +
+		"literals that drop a Version field present on the type",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	switch pass.Pkg.Name() {
+	case "serve", "cluster":
+	default:
+		return nil
+	}
+	for _, file := range pass.Files {
+		checkStructDecls(pass, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkVersionDrops(pass, fd)
+		}
+	}
+	return nil
+}
+
+func jsonTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	tag, err := unquote(f.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(tag).Lookup("json")
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '`' && s[len(s)-1] == '`' {
+		return s[1 : len(s)-1], nil
+	}
+	return s, nil
+}
+
+// checkStructDecls applies the tag-completeness rule to every struct
+// type declared in the file (including function-local ones, which the
+// stats handlers use for response shapes).
+func checkStructDecls(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		wire := false
+		for _, f := range st.Fields.List {
+			if _, ok := jsonTag(f); ok {
+				wire = true
+				break
+			}
+		}
+		if !wire {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			if _, ok := jsonTag(f); ok {
+				continue
+			}
+			if len(f.Names) == 0 {
+				continue // embedded: its own fields carry the tags
+			}
+			for _, name := range f.Names {
+				if !name.IsExported() {
+					continue
+				}
+				pass.Reportf(name.Pos(), "exported field %s of a wire struct has no json tag; tag it (or unexport it) so the wire name is chosen deliberately", name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// versionField reports whether t is a struct with a direct, json-tagged
+// Version field (embedded Versions don't count: the literal for the
+// embedded type is where the field is set).
+func versionField(t types.Type) bool {
+	for _, f := range lintutil.StructFields(t) {
+		if f.Name() == "Version" && !f.Embedded() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVersionDrops flags keyed, non-empty composite literals of wire
+// structs with a Version field that neither set it nor are followed by
+// a .Version assignment in the same function.
+func checkVersionDrops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Positions of later `<expr>.Version = ...` assignments.
+	var versionAssigns []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok && sel.Sel.Name == "Version" {
+				versionAssigns = append(versionAssigns, as.Pos())
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[lit]
+		if !ok || !versionField(tv.Type) || !isWireStruct(tv.Type) {
+			return true
+		}
+		keyed := false
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				return true // positional literal: every field is present
+			}
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Version" {
+				return true
+			}
+		}
+		if !keyed {
+			return true
+		}
+		for _, p := range versionAssigns {
+			if p > lit.Pos() {
+				return true
+			}
+		}
+		name := "wire struct"
+		if named := lintutil.Named(tv.Type); named != nil {
+			name = named.Obj().Name()
+		}
+		pass.Reportf(lit.Pos(), "%s literal drops the Version field; version-keyed caches in front of this response will never invalidate — set Version or assign it before use", name)
+		return true
+	})
+}
+
+// isWireStruct reports whether t has any json-tagged field.
+func isWireStruct(t types.Type) bool {
+	n := lintutil.Named(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := reflect.StructTag(st.Tag(i)).Lookup("json"); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wiretag"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, wiretag.Analyzer, "wiretag")
+}

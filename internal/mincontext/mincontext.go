@@ -163,8 +163,12 @@ func (st *state) relevOf(e xpath.Expr) xpath.Relev {
 
 // uncovered returns the subset of X not yet covered for e and marks it
 // covered. For context-insensitive expressions (Relev(N) ∩ {cn} = ∅) a
-// single sentinel represents all contexts.
-func (st *state) uncovered(e xpath.Expr, x xmltree.NodeSet) xmltree.NodeSet {
+// single sentinel represents all contexts. The coverage scan can touch
+// up to |D| nodes, so it bills the cancellation checkpoint.
+func (st *state) uncovered(e xpath.Expr, x xmltree.NodeSet) (xmltree.NodeSet, error) {
+	if err := st.cancel.CheckN(len(x)); err != nil {
+		return nil, err
+	}
 	cov := st.covered[e]
 	if cov == nil {
 		cov = map[xmltree.NodeID]bool{}
@@ -172,10 +176,10 @@ func (st *state) uncovered(e xpath.Expr, x xmltree.NodeSet) xmltree.NodeSet {
 	}
 	if !st.relevOf(e).Has(xpath.RelevNode) {
 		if cov[xmltree.NilNode] {
-			return nil
+			return nil, nil
 		}
 		cov[xmltree.NilNode] = true
-		return x
+		return x, nil
 	}
 	var todo xmltree.NodeSet
 	for _, n := range x {
@@ -184,7 +188,7 @@ func (st *state) uncovered(e xpath.Expr, x xmltree.NodeSet) xmltree.NodeSet {
 			todo = append(todo, n)
 		}
 	}
-	return todo
+	return todo, nil
 }
 
 // ------------------------------------------------------------------
@@ -351,7 +355,10 @@ func (st *state) evalByCnodeOnly(e xpath.Expr, x xmltree.NodeSet) error {
 		return nil
 	}
 	if p, ok := e.(*xpath.Path); ok {
-		todo := st.uncovered(e, x)
+		todo, err := st.uncovered(e, x)
+		if err != nil {
+			return err
+		}
 		if len(todo) == 0 {
 			return nil
 		}
@@ -374,7 +381,10 @@ func (st *state) evalByCnodeOnly(e xpath.Expr, x xmltree.NodeSet) error {
 	}
 	// Other compound (or leaf) expression: tabulate children first,
 	// then this node for every context in X.
-	todo := st.uncovered(e, x)
+	todo, err := st.uncovered(e, x)
+	if err != nil {
+		return err
+	}
 	if len(todo) == 0 {
 		return nil
 	}
@@ -414,7 +424,10 @@ func (st *state) evalByCnodeOnly(e xpath.Expr, x xmltree.NodeSet) error {
 // evalFilterByCnode tabulates a filter expression (primary plus
 // document-order predicates) per context node.
 func (st *state) evalFilterByCnode(fe *xpath.FilterExpr, x xmltree.NodeSet) error {
-	todo := st.uncovered(fe, x)
+	todo, err := st.uncovered(fe, x)
+	if err != nil {
+		return err
+	}
 	if len(todo) == 0 {
 		return nil
 	}

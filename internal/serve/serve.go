@@ -349,8 +349,14 @@ func renderValue(d *core.Document, v core.Value) *ValueJSON {
 // the compiled query (no second cache lookup, so /stats counts each
 // served query exactly once). A result rescued by the table-limit
 // fallback reports the strategy that actually produced the value.
-func (s *Server) render(sess *engine.Session, res engine.Result) QueryResponse {
-	resp := QueryResponse{Query: res.Query}
+//
+// The document version is a required argument, not an afterthought:
+// every response constructor must carry it so the (doc, query,
+// version)-keyed caches in front of this node are never poisoned by an
+// unversioned answer. Callers read it BEFORE acquiring the session
+// (see handleQuery for the race argument).
+func (s *Server) render(sess *engine.Session, ver uint64, res engine.Result) QueryResponse {
+	resp := QueryResponse{Query: res.Query, Version: ver}
 	if res.Compiled != nil {
 		resp.Fragment = res.Compiled.Fragment().String()
 		resp.Strategy = sess.StrategyFor(res.Compiled).String()
@@ -489,8 +495,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
 		return
 	}
-	resp := s.render(sess, sess.DoContext(r.Context(), req.Query))
-	resp.Version = ver
+	resp := s.render(sess, ver, sess.DoContext(r.Context(), req.Query))
 	status := http.StatusOK
 	if resp.Error != "" {
 		status = http.StatusUnprocessableEntity
@@ -526,6 +531,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Doc != "" {
+		// Version before session, as in handleQuery: mislabeling an old
+		// answer with a new version would poison downstream caches.
+		ver := s.docVersion(req.Doc)
 		sess, ok := s.Session(req.Doc)
 		if !ok {
 			HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
@@ -533,7 +541,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, writeLine := s.startBatchStream(w, r)
 		sess.StreamBatch(ctx, req.Queries, func(i int, res engine.Result) {
-			writeLine(BatchLine{Index: i, QueryResponse: s.render(sess, res)})
+			writeLine(BatchLine{Index: i, QueryResponse: s.render(sess, ver, res)})
 		})
 		return
 	}
@@ -577,11 +585,14 @@ func (s *Server) handleJobsBatch(w http.ResponseWriter, r *http.Request, jobs []
 	ctx, writeLine := s.startBatchStream(w, r)
 	var wg sync.WaitGroup
 	for doc, indices := range byDoc {
+		// Version before session, as in handleQuery, per document.
+		ver := s.docVersion(doc)
 		sess, ok := s.Session(doc)
 		if !ok {
 			for _, gi := range indices {
 				writeLine(BatchLine{
 					Index: gi, Doc: doc, Missing: true,
+					//lint:ignore wiretag the document is unknown, so there is no version to carry; Missing marks the line as uncacheable
 					QueryResponse: QueryResponse{
 						Query: jobs[gi].Query,
 						Error: fmt.Sprintf("unknown document %q", doc),
@@ -595,12 +606,12 @@ func (s *Server) handleJobsBatch(w http.ResponseWriter, r *http.Request, jobs []
 			queries[k] = jobs[gi].Query
 		}
 		wg.Add(1)
-		go func(doc string, sess *engine.Session, indices []int, queries []string) {
+		go func(doc string, sess *engine.Session, ver uint64, indices []int, queries []string) {
 			defer wg.Done()
 			sess.StreamBatch(ctx, queries, func(k int, res engine.Result) {
-				writeLine(BatchLine{Index: indices[k], Doc: doc, QueryResponse: s.render(sess, res)})
+				writeLine(BatchLine{Index: indices[k], Doc: doc, QueryResponse: s.render(sess, ver, res)})
 			})
-		}(doc, sess, indices, queries)
+		}(doc, sess, ver, indices, queries)
 	}
 	wg.Wait()
 }

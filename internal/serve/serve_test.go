@@ -710,3 +710,66 @@ func TestJobsBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchLinesCarryVersion pins the regression the wiretag analyzer
+// guards against: every streamed batch line must carry the document's
+// version, in both the single-document and the grouped jobs form — a
+// response without it would poison any (doc, query, version)-keyed
+// cache sitting in front of the node. The unknown-document error line
+// is the one deliberate exception: there is no version to carry, and
+// "missing" marks the line uncacheable.
+func TestBatchLinesCarryVersion(t *testing.T) {
+	srv, ts := testServer(t)
+	// Bump catalog to version 2 so a present-but-zero version field
+	// cannot pass by accident.
+	if _, _, err := srv.AddDocument("catalog", workload.Catalog(12).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, _ := json.Marshal(BatchRequest{Doc: "catalog", Queries: []string{"count(//product)", "//["}})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := readBatchLines(t, resp)
+	resp.Body.Close()
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		if v, ok := line["version"].(float64); !ok || v != 2 {
+			t.Fatalf("single-doc batch line %v carries version %v, want 2", line["index"], line["version"])
+		}
+	}
+
+	buf, _ = json.Marshal(BatchRequest{Jobs: []BatchJob{
+		{Doc: "catalog", Query: "count(//product)"},
+		{Doc: "ghost", Query: "count(//x)"},
+	}})
+	resp, err = http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = readBatchLines(t, resp)
+	resp.Body.Close()
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		switch line["doc"] {
+		case "catalog":
+			if v, ok := line["version"].(float64); !ok || v != 2 {
+				t.Fatalf("jobs batch line for catalog carries version %v, want 2", line["version"])
+			}
+		case "ghost":
+			if line["missing"] != true {
+				t.Fatalf("unknown-document line not flagged missing: %v", line)
+			}
+			if _, ok := line["version"]; ok {
+				t.Fatalf("unknown-document line carries a version: %v", line)
+			}
+		default:
+			t.Fatalf("unexpected doc %v", line["doc"])
+		}
+	}
+}

@@ -496,16 +496,21 @@ func (st *state) evalBottomUpPath(key xpath.Expr, pathSide xpath.Expr, c *semant
 	}
 	n := st.doc.Len()
 	var y xmltree.NodeSet
+	var err error
 	boolRelOp := false
 	if c == nil {
 		// boolean(π): Y := dom.
-		y = st.dom()
+		if y, err = st.dom(); err != nil {
+			return err
+		}
 	} else {
 		switch c.Kind {
 		case xpath.TypeBoolean:
 			// π RelOp bool is boolean(π) RelOp bool: propagate with
 			// Y = dom, compare afterwards.
-			y = st.dom()
+			if y, err = st.dom(); err != nil {
+				return err
+			}
 			boolRelOp = true
 		default:
 			// Y := {y | strval-based comparison with c holds}.
@@ -535,12 +540,17 @@ func (st *state) evalBottomUpPath(key xpath.Expr, pathSide xpath.Expr, c *semant
 	return nil
 }
 
-func (st *state) dom() xmltree.NodeSet {
+// dom materializes the full node set — an O(|D|) fill billed against
+// the cancellation checkpoint.
+func (st *state) dom() (xmltree.NodeSet, error) {
+	if err := st.cancel.CheckN(st.doc.Len()); err != nil {
+		return nil, err
+	}
 	s := make(xmltree.NodeSet, st.doc.Len())
 	for i := range s {
 		s[i] = xmltree.NodeID(i)
 	}
-	return s
+	return s, nil
 }
 
 // propagateBackwards is propagate_path_backwards: it walks the path's
@@ -570,7 +580,7 @@ func (st *state) propagateBackwards(e xpath.Expr, y xmltree.NodeSet) (xmltree.No
 		}
 		if p.Absolute {
 			if cur.Contains(st.doc.RootID()) {
-				return st.dom(), nil
+				return st.dom()
 			}
 			return nil, nil
 		}
@@ -604,7 +614,7 @@ func (st *state) propagateIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.Nod
 		return nil, fmt.Errorf("wadler: id head is not a node set")
 	}
 	if !v.Set.Intersect(cur).IsEmpty() {
-		return st.dom(), nil
+		return st.dom()
 	}
 	return nil, nil
 }

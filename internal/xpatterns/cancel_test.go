@@ -43,6 +43,41 @@ func TestEvaluateContextCancelsPromptly(t *testing.T) {
 	}
 }
 
+// TestMatchSetContextCancelled pins the regression the cancelcheck
+// analyzer guards against: the dom fill and the "=s" string-search
+// scan bill the throttled checkpoint, so on a document past the
+// checkpoint granularity (1024 nodes) an already-cancelled context
+// observably stops the match instead of scanning to completion.
+func TestMatchSetContextCancelled(t *testing.T) {
+	d := workload.Doc(5000) // > one checkpoint interval of billed units
+	e := xpath.MustParse("//b[. = 'nope']")
+	if !InFragment(e) {
+		t.Fatal("query left the XPatterns fragment")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first O(|D|) operation
+	if _, err := New(d).MatchSetContext(ctx, e); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMatchSetContextUncancelled pins down that a live context leaves
+// the match semantics untouched.
+func TestMatchSetContextUncancelled(t *testing.T) {
+	d := workload.DocPrime(8)
+	e := xpath.MustParse("//b[. = 'c']")
+	want, err := New(d).MatchSet(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := New(d).MatchSetContext(ctx, e)
+	if err != nil || !got.Equal(want) {
+		t.Fatalf("MatchSetContext = %v, %v; want %v, nil", got, err, want)
+	}
+}
+
 // TestEvaluateContextUncancelled pins down that a context that is never
 // cancelled changes nothing about the result, including through the
 // id-axis and "=s" machinery unique to this fragment.

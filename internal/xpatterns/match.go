@@ -1,8 +1,10 @@
 package xpatterns
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/evalutil"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -11,15 +13,37 @@ import (
 // XSLT-template sense: n matches π iff some context node selects n via
 // π. Runs in linear time by one forward pass over all of dom.
 func (ev *Evaluator) MatchSet(e xpath.Expr) (xmltree.NodeSet, error) {
+	return ev.MatchSetContext(context.Background(), e)
+}
+
+// MatchSetContext is MatchSet with cancellation: the dom fill and every
+// O(|D|) operation of the forward pass bill the throttled checkpoint,
+// so a match over a large document abandons promptly with ctx's error
+// once ctx is done.
+func (ev *Evaluator) MatchSetContext(ctx context.Context, e xpath.Expr) (xmltree.NodeSet, error) {
 	if !InFragment(e) {
 		return nil, fmt.Errorf("xpatterns: pattern %s not in the XPatterns fragment", e)
 	}
-	return ev.EvaluateSet(e, ev.dom())
+	ev.cancel = evalutil.NewCanceller(ctx)
+	d, err := ev.dom()
+	if err != nil {
+		return nil, err
+	}
+	return ev.EvaluateSet(e, d)
 }
 
 // Matches reports whether one node matches the pattern.
 func (ev *Evaluator) Matches(e xpath.Expr, n xmltree.NodeID) (bool, error) {
 	s, err := ev.MatchSet(e)
+	if err != nil {
+		return false, err
+	}
+	return s.Contains(n), nil
+}
+
+// MatchesContext is Matches with cancellation.
+func (ev *Evaluator) MatchesContext(ctx context.Context, e xpath.Expr, n xmltree.NodeID) (bool, error) {
+	s, err := ev.MatchSetContext(ctx, e)
 	if err != nil {
 		return false, err
 	}

@@ -230,12 +230,18 @@ func (ev *Evaluator) evalIDHead(e xpath.Expr, n0 xmltree.NodeSet) (xmltree.NodeS
 	}
 }
 
-func (ev *Evaluator) dom() xmltree.NodeSet {
+// dom materializes the full node set — an O(|D|) fill billed against
+// the cancellation checkpoint like every other whole-document
+// operation.
+func (ev *Evaluator) dom() (xmltree.NodeSet, error) {
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
+	}
 	s := make(xmltree.NodeSet, ev.doc.Len())
 	for i := range s {
 		s[i] = xmltree.NodeID(i)
 	}
-	return s
+	return s, nil
 }
 
 // e1 computes the extension of an XPatterns predicate.
@@ -277,18 +283,30 @@ func (ev *Evaluator) e1(e xpath.Expr) (xmltree.NodeSet, error) {
 			if err != nil {
 				return nil, err
 			}
-			return ev.dom().Minus(inner), nil
+			d, err := ev.dom()
+			if err != nil {
+				return nil, err
+			}
+			return d.Minus(inner), nil
 		case "boolean":
 			return ev.e1(x.Args[0])
 		case "true":
-			return ev.dom(), nil
+			return ev.dom()
 		case "false":
 			return nil, nil
 		case "id":
 			// Existential id(…) head inside a predicate.
-			return ev.sBackIDHead(x, ev.dom())
+			d, err := ev.dom()
+			if err != nil {
+				return nil, err
+			}
+			return ev.sBackIDHead(x, d)
 		default:
-			if s, ok := ev.unaryPredicateSet(x.Name); ok {
+			s, ok, err := ev.unaryPredicateSet(x.Name)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				return s, nil
 			}
 			return nil, fmt.Errorf("xpatterns: function %s not in fragment", x.Name)
@@ -304,13 +322,17 @@ func (ev *Evaluator) e1(e xpath.Expr) (xmltree.NodeSet, error) {
 // a node whose string value equals the constant.
 func (ev *Evaluator) eqS(pathSide, constSide xpath.Expr) (xmltree.NodeSet, error) {
 	var target xmltree.NodeSet
+	var err error
 	switch c := constSide.(type) {
 	case *xpath.Literal:
-		target = ev.strvalEquals(c.Val)
+		target, err = ev.strvalEquals(c.Val)
 	case *xpath.Number:
-		target = ev.strvalEqualsNumber(c.Val)
+		target, err = ev.strvalEqualsNumber(c.Val)
 	default:
 		return nil, fmt.Errorf("xpatterns: non-constant comparison %s", constSide)
+	}
+	if err != nil {
+		return nil, err
 	}
 	p, ok := pathSide.(*xpath.Path)
 	if !ok {
@@ -321,9 +343,13 @@ func (ev *Evaluator) eqS(pathSide, constSide xpath.Expr) (xmltree.NodeSet, error
 
 // strvalEquals computes (and caches) {y | strval(y) = s}: the "=s" unary
 // predicate of Table VI, "computed using string search in the document".
-func (ev *Evaluator) strvalEquals(s string) xmltree.NodeSet {
+// The scan is O(|D|) and billed against the cancellation checkpoint.
+func (ev *Evaluator) strvalEquals(s string) (xmltree.NodeSet, error) {
 	if set, ok := ev.strvalSets[s]; ok {
-		return set
+		return set, nil
+	}
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
 	}
 	var out xmltree.NodeSet
 	for i := 0; i < ev.doc.Len(); i++ {
@@ -332,17 +358,20 @@ func (ev *Evaluator) strvalEquals(s string) xmltree.NodeSet {
 		}
 	}
 	ev.strvalSets[s] = out
-	return out
+	return out, nil
 }
 
-func (ev *Evaluator) strvalEqualsNumber(v float64) xmltree.NodeSet {
+func (ev *Evaluator) strvalEqualsNumber(v float64) (xmltree.NodeSet, error) {
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
+	}
 	var out xmltree.NodeSet
 	for i := 0; i < ev.doc.Len(); i++ {
 		if semantics.StringToNumber(ev.doc.StringValue(xmltree.NodeID(i))) == v {
 			out = append(out, xmltree.NodeID(i))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // sBack propagates backwards through a path. With a nil target it
@@ -352,7 +381,11 @@ func (ev *Evaluator) strvalEqualsNumber(v float64) xmltree.NodeSet {
 func (ev *Evaluator) sBack(p *xpath.Path, target xmltree.NodeSet) (xmltree.NodeSet, error) {
 	cur := target
 	if cur == nil {
-		cur = ev.dom()
+		d, err := ev.dom()
+		if err != nil {
+			return nil, err
+		}
+		cur = d
 	}
 	for i := len(p.Steps) - 1; i >= 0; i-- {
 		if err := ev.checkpoint(); err != nil {
@@ -374,7 +407,7 @@ func (ev *Evaluator) sBack(p *xpath.Path, target xmltree.NodeSet) (xmltree.NodeS
 	}
 	if p.Absolute {
 		if cur.Contains(ev.doc.RootID()) {
-			return ev.dom(), nil
+			return ev.dom()
 		}
 		return nil, nil
 	}
@@ -392,7 +425,7 @@ func (ev *Evaluator) sBackIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.Nod
 	switch a := c.Args[0].(type) {
 	case *xpath.Literal:
 		if !xmltree.NodeSet(ev.doc.DerefIDs(a.Val)).Intersect(cur).IsEmpty() {
-			return ev.dom(), nil
+			return ev.dom()
 		}
 		return nil, nil
 	case *xpath.Call:
@@ -413,26 +446,26 @@ func (ev *Evaluator) sBackIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.Nod
 // FirstOfAny returns {y ∈ dom | y has no preceding sibling}: the
 // first-of-any unary predicate. Attribute and namespace nodes are not
 // part of the sibling order here.
-func (ev *Evaluator) FirstOfAny() xmltree.NodeSet {
+func (ev *Evaluator) FirstOfAny() (xmltree.NodeSet, error) {
 	return ev.siblingBoundary(true, nil)
 }
 
 // LastOfAny returns {x ∈ dom | x has no following sibling}.
-func (ev *Evaluator) LastOfAny() xmltree.NodeSet {
+func (ev *Evaluator) LastOfAny() (xmltree.NodeSet, error) {
 	return ev.siblingBoundary(false, nil)
 }
 
 // FirstOfType returns the first-of-type() predicate of Theorem 10.8:
 // elements with no preceding sibling of the same name. Computable in
 // O(|D|·|Σ|); this implementation is O(|D|) by scanning sibling lists.
-func (ev *Evaluator) FirstOfType() xmltree.NodeSet {
+func (ev *Evaluator) FirstOfType() (xmltree.NodeSet, error) {
 	seen := map[string]bool{}
 	return ev.siblingBoundary(true, seen)
 }
 
 // LastOfType returns elements with no following sibling of the same
 // name.
-func (ev *Evaluator) LastOfType() xmltree.NodeSet {
+func (ev *Evaluator) LastOfType() (xmltree.NodeSet, error) {
 	seen := map[string]bool{}
 	return ev.siblingBoundary(false, seen)
 }
@@ -441,8 +474,12 @@ func (ev *Evaluator) LastOfType() xmltree.NodeSet {
 // children only (the '98 draft's patterns address elements). With
 // byType nil it marks the first (or last) element child of each parent;
 // with a map it marks the first (or last) element child per tag name.
-// Total work is O(|D|), realizing the Theorem 10.8 precomputation.
-func (ev *Evaluator) siblingBoundary(first bool, byType map[string]bool) xmltree.NodeSet {
+// Total work is O(|D|), realizing the Theorem 10.8 precomputation, and
+// is billed as one whole-document operation.
+func (ev *Evaluator) siblingBoundary(first bool, byType map[string]bool) (xmltree.NodeSet, error) {
+	if err := ev.checkpoint(); err != nil {
+		return nil, err
+	}
 	var out []xmltree.NodeID
 	for i := 0; i < ev.doc.Len(); i++ {
 		p := xmltree.NodeID(i)
@@ -490,22 +527,25 @@ func (ev *Evaluator) siblingBoundary(first bool, byType map[string]bool) xmltree
 			}
 		}
 	}
-	return xmltree.NewNodeSet(out...)
+	return xmltree.NewNodeSet(out...), nil
 }
 
 // unaryPredicateSet resolves an XSLT'98 predicate function name to its
 // precomputed extension.
-func (ev *Evaluator) unaryPredicateSet(name string) (xmltree.NodeSet, bool) {
+func (ev *Evaluator) unaryPredicateSet(name string) (xmltree.NodeSet, bool, error) {
+	var s xmltree.NodeSet
+	var err error
 	switch name {
 	case "first-of-any":
-		return ev.FirstOfAny(), true
+		s, err = ev.FirstOfAny()
 	case "last-of-any":
-		return ev.LastOfAny(), true
+		s, err = ev.LastOfAny()
 	case "first-of-type":
-		return ev.FirstOfType(), true
+		s, err = ev.FirstOfType()
 	case "last-of-type":
-		return ev.LastOfType(), true
+		s, err = ev.LastOfType()
 	default:
-		return nil, false
+		return nil, false, nil
 	}
+	return s, true, err
 }

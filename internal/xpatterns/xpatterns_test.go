@@ -118,18 +118,27 @@ func TestUnaryPredicateSets(t *testing.T) {
 	ev := New(d)
 	name := func(id xmltree.NodeID) string { return d.Name(id) }
 
-	foa := ev.FirstOfAny()
+	foa, err := ev.FirstOfAny()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// First children: r (of root), a (first child of r), first a in c.
 	if len(foa) != 3 {
 		t.Errorf("FirstOfAny = %d nodes, want 3", len(foa))
 	}
-	loa := ev.LastOfAny()
+	loa, err := ev.LastOfAny()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Last children: r, c (last child of r), last a in c.
 	if len(loa) != 3 {
 		t.Errorf("LastOfAny = %d nodes, want 3", len(loa))
 	}
 
-	fot := ev.FirstOfType()
+	fot, err := ev.FirstOfType()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Per sibling list, first of each tag: r; a(first),b,c under r;
 	// first a under c → 5.
 	if len(fot) != 5 {
@@ -139,7 +148,10 @@ func TestUnaryPredicateSets(t *testing.T) {
 		}
 		t.Errorf("FirstOfType = %v (%d), want 5", ns, len(fot))
 	}
-	lot := ev.LastOfType()
+	lot, err := ev.LastOfType()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// r; b, second a, c under r; second a under c → 5.
 	if len(lot) != 5 {
 		t.Errorf("LastOfType = %d, want 5", len(lot))

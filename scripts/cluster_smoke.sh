@@ -12,10 +12,10 @@
 #   bash scripts/cluster_smoke.sh
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 bin=$(mktemp -d)
 cleanup() {
-  kill $(jobs -p) 2>/dev/null || true
+  jobs -p | xargs -r kill 2>/dev/null || true
   rm -rf "$bin"
 }
 trap cleanup EXIT
