@@ -17,7 +17,9 @@ package repro
 // per-point caps, reproducing the '-' entries of the paper's tables.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -142,7 +144,9 @@ func BenchmarkExp4CoreXPath(b *testing.B) {
 	for _, n := range []int{5000, 20000, 50000} {
 		d := workload.Doc(n)
 		b.Run(fmt.Sprintf("doc=%d", n), func(b *testing.B) {
-			benchQuery(b, corexpath.New(d), d, q)
+			ev := corexpath.New(d)
+			ev.Parallelism = runtime.GOMAXPROCS(0) // 1 under -cpu=1: same sequential path as before
+			benchQuery(b, ev, d, q)
 		})
 	}
 }
@@ -311,9 +315,12 @@ func BenchmarkAxes(b *testing.B) {
 	}
 }
 
-// BenchmarkAxesEval measures axes.EvalInto in isolation in its
+// BenchmarkAxesEval measures axis evaluation in isolation in its
 // steady state: a caller-reused output buffer plus the per-document
-// scratch pool mean zero heap allocations per evaluation.
+// scratch pool mean zero heap allocations per evaluation. The loop
+// goes through axes.EvalPar with a GOMAXPROCS worker budget — under
+// -cpu=1 that is the exact sequential EvalInto path (and still zero
+// allocations); under -cpu=4 it exercises the chunked parallel fills.
 func BenchmarkAxesEval(b *testing.B) {
 	d := workload.Catalog(2000)
 	ctxSet := d.Index().Named("product")
@@ -329,14 +336,22 @@ func BenchmarkAxesEval(b *testing.B) {
 		{"child", axes.Child},
 		{"following-sibling", axes.FollowingSibling},
 	}
+	ctx := context.Background()
+	p := runtime.GOMAXPROCS(0)
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			var buf xmltree.NodeSet
-			buf = axes.EvalInto(d, c.axis, ctxSet, buf) // warm the buffer and scratch pool
+			var err error
+			buf, err = axes.EvalPar(ctx, d, c.axis, ctxSet, buf, p) // warm the buffer and scratch pool
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				buf = axes.EvalInto(d, c.axis, ctxSet, buf)
+				if buf, err = axes.EvalPar(ctx, d, c.axis, ctxSet, buf, p); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -347,13 +362,21 @@ func BenchmarkAxesEval(b *testing.B) {
 func BenchmarkAxesEvalNamed(b *testing.B) {
 	d := workload.Catalog(2000)
 	root := xmltree.NodeSet{d.RootID()}
+	ctx := context.Background()
+	p := runtime.GOMAXPROCS(0)
 	b.Run("descendant::product", func(b *testing.B) {
 		var buf xmltree.NodeSet
-		buf = axes.EvalNamedInto(d, axes.Descendant, root, "product", buf)
+		var err error
+		buf, err = axes.EvalNamedPar(ctx, d, axes.Descendant, root, "product", buf, p)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			buf = axes.EvalNamedInto(d, axes.Descendant, root, "product", buf)
+			if buf, err = axes.EvalNamedPar(ctx, d, axes.Descendant, root, "product", buf, p); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -373,6 +396,13 @@ func BenchmarkBitset(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			x.UnionWith(y)
+		}
+	})
+	b.Run("par-union", func(b *testing.B) {
+		p := runtime.GOMAXPROCS(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x.ParUnion(y, p)
 		}
 	})
 	b.Run("count", func(b *testing.B) {

@@ -39,12 +39,45 @@ import (
 // benchResult is one parsed benchmark line. NsPerOp is pulled out of
 // Metrics because every result has it and trend tooling keys on it;
 // all other "value unit" pairs (B/op, allocs/op, custom ReportMetric
-// units) stay in Metrics.
+// units) stay in Metrics. Name is stored without the GOMAXPROCS
+// suffix `go test` appends (BenchmarkFoo-8); the suffix lands in CPU
+// instead (1 when absent), so runs at different -cpu values are
+// distinct entries that never gate against each other.
 type benchResult struct {
 	Name       string             `json:"name"`
+	CPU        int                `json:"cpu"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// key identifies a benchmark across artifacts: the same name measured
+// at a different GOMAXPROCS is a different measurement.
+func (b benchResult) key() benchKey { return benchKey{b.Name, b.CPU} }
+
+// display renders the key the way `go test` prints it.
+func (b benchResult) display() string {
+	if b.CPU > 1 {
+		return fmt.Sprintf("%s-%d", b.Name, b.CPU)
+	}
+	return b.Name
+}
+
+type benchKey struct {
+	Name string
+	CPU  int
+}
+
+// splitCPUSuffix splits the `-N` GOMAXPROCS suffix off a benchmark
+// name; a name without one ran at GOMAXPROCS=1 (`go test` omits the
+// suffix then).
+func splitCPUSuffix(name string) (string, int) {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			return name[:i], n
+		}
+	}
+	return name, 1
 }
 
 type benchFile struct {
@@ -150,31 +183,41 @@ func loadBenchFile(path string) (*benchFile, error) {
 	if len(f.Benchmarks) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks", path)
 	}
+	// Artifacts written before the cpu field carried the GOMAXPROCS
+	// suffix inside the name; normalize so (name, cpu) keying holds
+	// across old and new files.
+	for i, b := range f.Benchmarks {
+		if b.CPU == 0 {
+			f.Benchmarks[i].Name, f.Benchmarks[i].CPU = splitCPUSuffix(b.Name)
+		}
+	}
 	return &f, nil
 }
 
-// diffBenchFiles compares ns/op per benchmark name and renders one
-// line per comparison; a positive delta is a slowdown. It returns the
-// rendered report and how many benchmarks regressed beyond threshold
-// percent. Only names present in both files can gate; additions and
-// removals are listed informationally.
+// diffBenchFiles compares ns/op per (benchmark name, cpu) pair and
+// renders one line per comparison; a positive delta is a slowdown. It
+// returns the rendered report and how many benchmarks regressed beyond
+// threshold percent. Only keys present in both files can gate;
+// additions and removals are listed informationally — in particular a
+// run at a new -cpu value never gates against the other value's
+// numbers.
 func diffBenchFiles(oldFile, newFile *benchFile, threshold float64) (string, int) {
-	oldNs := map[string]float64{}
+	oldNs := map[benchKey]float64{}
 	for _, b := range oldFile.Benchmarks {
-		oldNs[b.Name] = b.NsPerOp
+		oldNs[b.key()] = b.NsPerOp
 	}
 	var sb strings.Builder
 	regressions := 0
-	seen := map[string]bool{}
+	seen := map[benchKey]bool{}
 	for _, b := range newFile.Benchmarks {
-		old, ok := oldNs[b.Name]
+		old, ok := oldNs[b.key()]
 		if !ok {
-			fmt.Fprintf(&sb, "%-60s %12s %12.0f  (new)\n", b.Name, "-", b.NsPerOp)
+			fmt.Fprintf(&sb, "%-60s %12s %12.0f  (new)\n", b.display(), "-", b.NsPerOp)
 			continue
 		}
-		seen[b.Name] = true
+		seen[b.key()] = true
 		if old <= 0 {
-			fmt.Fprintf(&sb, "%-60s %12.0f %12.0f  (old is zero, skipped)\n", b.Name, old, b.NsPerOp)
+			fmt.Fprintf(&sb, "%-60s %12.0f %12.0f  (old is zero, skipped)\n", b.display(), old, b.NsPerOp)
 			continue
 		}
 		delta := (b.NsPerOp - old) / old * 100
@@ -183,17 +226,22 @@ func diffBenchFiles(oldFile, newFile *benchFile, threshold float64) (string, int
 			verdict = "REGRESSED"
 			regressions++
 		}
-		fmt.Fprintf(&sb, "%-60s %12.0f %12.0f  %+7.1f%%  %s\n", b.Name, old, b.NsPerOp, delta, verdict)
+		fmt.Fprintf(&sb, "%-60s %12.0f %12.0f  %+7.1f%%  %s\n", b.display(), old, b.NsPerOp, delta, verdict)
 	}
-	var gone []string
-	for name := range oldNs {
-		if !seen[name] {
-			gone = append(gone, name)
+	var gone []benchResult
+	for _, b := range oldFile.Benchmarks {
+		if !seen[b.key()] {
+			gone = append(gone, b)
 		}
 	}
-	sort.Strings(gone)
-	for _, name := range gone {
-		fmt.Fprintf(&sb, "%-60s %12.0f %12s  (removed)\n", name, oldNs[name], "-")
+	sort.Slice(gone, func(i, j int) bool {
+		if gone[i].Name != gone[j].Name {
+			return gone[i].Name < gone[j].Name
+		}
+		return gone[i].CPU < gone[j].CPU
+	})
+	for _, b := range gone {
+		fmt.Fprintf(&sb, "%-60s %12.0f %12s  (removed)\n", b.display(), oldNs[b.key()], "-")
 	}
 	return sb.String(), regressions
 }
@@ -226,6 +274,25 @@ func parse(r io.Reader) (*benchFile, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// Record the distinct GOMAXPROCS values measured (the -cpu list of
+	// the run), so an artifact tells apart 1-CPU and multicore runs at
+	// a glance.
+	cpuSet := map[int]bool{}
+	for _, b := range out.Benchmarks {
+		cpuSet[b.CPU] = true
+	}
+	if len(cpuSet) > 0 {
+		var cpus []int
+		for c := range cpuSet {
+			cpus = append(cpus, c)
+		}
+		sort.Ints(cpus)
+		parts := make([]string, len(cpus))
+		for i, c := range cpus {
+			parts[i] = strconv.Itoa(c)
+		}
+		out.Context["gomaxprocs"] = strings.Join(parts, ",")
+	}
 	if len(out.Context) == 0 {
 		out.Context = nil
 	}
@@ -246,7 +313,8 @@ func parseBenchLine(line string) (benchResult, bool) {
 	if err != nil {
 		return benchResult{}, false
 	}
-	res := benchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	name, cpu := splitCPUSuffix(fields[0])
+	res := benchResult{Name: name, CPU: cpu, Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

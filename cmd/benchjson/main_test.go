@@ -31,7 +31,7 @@ func TestParse(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want 3", len(got.Benchmarks))
 	}
 	b := got.Benchmarks[0]
-	if b.Name != "BenchmarkServingCachedVsCold/cold-8" || b.Iterations != 1201 || b.NsPerOp != 987654 {
+	if b.Name != "BenchmarkServingCachedVsCold/cold" || b.CPU != 8 || b.Iterations != 1201 || b.NsPerOp != 987654 {
 		t.Fatalf("first benchmark = %+v", b)
 	}
 	if b.Metrics["B/op"] != 512 || b.Metrics["allocs/op"] != 12 {
@@ -39,6 +39,42 @@ func TestParse(t *testing.T) {
 	}
 	if got.Benchmarks[2].Metrics["queries/ms"] != 42.5 {
 		t.Fatalf("custom metric lost: %+v", got.Benchmarks[2])
+	}
+	if got.Context["gomaxprocs"] != "8" {
+		t.Fatalf("gomaxprocs context = %q, want \"8\"", got.Context["gomaxprocs"])
+	}
+}
+
+// TestParseCPUSuffix pins the suffix rules: `go test` omits the -N
+// suffix at GOMAXPROCS=1, sub-benchmark parameters keep their digits,
+// and a -cpu list yields one entry per value.
+func TestParseCPUSuffix(t *testing.T) {
+	input := "BenchmarkAxesEval/doc=50000 100 2000 ns/op\n" +
+		"BenchmarkAxesEval/doc=50000-4 100 600 ns/op\n" +
+		"BenchmarkExp4/k=20 50 9000 ns/op\n"
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name string
+		cpu  int
+	}{
+		{"BenchmarkAxesEval/doc=50000", 1},
+		{"BenchmarkAxesEval/doc=50000", 4},
+		{"BenchmarkExp4/k=20", 1},
+	}
+	if len(got.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d", len(got.Benchmarks), len(want))
+	}
+	for i, w := range want {
+		if got.Benchmarks[i].Name != w.name || got.Benchmarks[i].CPU != w.cpu {
+			t.Fatalf("benchmark %d = %q cpu=%d, want %q cpu=%d",
+				i, got.Benchmarks[i].Name, got.Benchmarks[i].CPU, w.name, w.cpu)
+		}
+	}
+	if got.Context["gomaxprocs"] != "1,4" {
+		t.Fatalf("gomaxprocs context = %q, want \"1,4\"", got.Context["gomaxprocs"])
 	}
 }
 
@@ -88,16 +124,16 @@ func writeBenchFile(t *testing.T, path string, f *benchFile) {
 
 func TestDiffBenchFiles(t *testing.T) {
 	oldF := &benchFile{Benchmarks: []benchResult{
-		{Name: "BenchmarkStable-8", NsPerOp: 1000},
-		{Name: "BenchmarkSlower-8", NsPerOp: 1000},
-		{Name: "BenchmarkFaster-8", NsPerOp: 1000},
-		{Name: "BenchmarkRemoved-8", NsPerOp: 500},
+		{Name: "BenchmarkStable", CPU: 8, NsPerOp: 1000},
+		{Name: "BenchmarkSlower", CPU: 8, NsPerOp: 1000},
+		{Name: "BenchmarkFaster", CPU: 8, NsPerOp: 1000},
+		{Name: "BenchmarkRemoved", CPU: 8, NsPerOp: 500},
 	}}
 	newF := &benchFile{Benchmarks: []benchResult{
-		{Name: "BenchmarkStable-8", NsPerOp: 1030}, // +3%: within threshold
-		{Name: "BenchmarkSlower-8", NsPerOp: 1300}, // +30%: regression
-		{Name: "BenchmarkFaster-8", NsPerOp: 600},  // -40%: improvement
-		{Name: "BenchmarkAdded-8", NsPerOp: 42},    // new: informational
+		{Name: "BenchmarkStable", CPU: 8, NsPerOp: 1030}, // +3%: within threshold
+		{Name: "BenchmarkSlower", CPU: 8, NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkFaster", CPU: 8, NsPerOp: 600},  // -40%: improvement
+		{Name: "BenchmarkAdded", CPU: 8, NsPerOp: 42},    // new: informational
 	}}
 	report, regressions := diffBenchFiles(oldF, newF, 5)
 	if regressions != 1 {
@@ -115,6 +151,62 @@ func TestDiffBenchFiles(t *testing.T) {
 	// A looser threshold admits the slowdown.
 	if _, n := diffBenchFiles(oldF, newF, 50); n != 0 {
 		t.Fatalf("threshold 50%% still flagged %d regressions", n)
+	}
+}
+
+// TestDiffKeysByNameAndCPU pins the multicore gating rule: the same
+// benchmark at different -cpu values is two independent entries. A
+// 4-CPU run being slower per op than last week's 1-CPU run is not a
+// regression; only the matching (name, cpu) pair gates.
+func TestDiffKeysByNameAndCPU(t *testing.T) {
+	oldF := &benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkAxes", CPU: 1, NsPerOp: 1000},
+		{Name: "BenchmarkAxes", CPU: 4, NsPerOp: 400},
+	}}
+	newF := &benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkAxes", CPU: 1, NsPerOp: 1010}, // fine at cpu=1
+		{Name: "BenchmarkAxes", CPU: 4, NsPerOp: 900},  // regressed at cpu=4
+	}}
+	report, regressions := diffBenchFiles(oldF, newF, 10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only the cpu=4 entry)\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "BenchmarkAxes-4") {
+		t.Fatalf("report does not name the cpu=4 entry:\n%s", report)
+	}
+	// A -cpu value with no old counterpart is informational, never a gate.
+	withNewCPU := &benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkAxes", CPU: 1, NsPerOp: 1010},
+		{Name: "BenchmarkAxes", CPU: 16, NsPerOp: 5000},
+	}}
+	report, regressions = diffBenchFiles(oldF, withNewCPU, 10)
+	if regressions != 0 {
+		t.Fatalf("new -cpu value gated: %d regressions\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "(new)") {
+		t.Fatalf("cpu=16 entry not listed as new:\n%s", report)
+	}
+}
+
+// TestLoadBenchFileNormalizesLegacy covers artifacts written before
+// the cpu field existed: the suffix still inside the name is split out
+// on load, so old and new files diff against each other.
+func TestLoadBenchFileNormalizesLegacy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.json")
+	writeBenchFile(t, path, &benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkOld/k=5-8", NsPerOp: 100, Iterations: 1},
+		{Name: "BenchmarkOld/k=5", NsPerOp: 300, Iterations: 1},
+	}})
+	f, err := loadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks[0].Name != "BenchmarkOld/k=5" || f.Benchmarks[0].CPU != 8 {
+		t.Fatalf("legacy suffixed entry = %+v", f.Benchmarks[0])
+	}
+	if f.Benchmarks[1].Name != "BenchmarkOld/k=5" || f.Benchmarks[1].CPU != 1 {
+		t.Fatalf("legacy bare entry = %+v", f.Benchmarks[1])
 	}
 }
 

@@ -39,11 +39,13 @@ func run() (exitCode int) {
 	exp := flag.String("exp", "all", "experiment to run: exp1|exp2|exp3|exp4|exp5a|exp5b|table5|table7|ablate|all")
 	cap := flag.Duration("cap", 2*time.Second, "wall-clock cap per measured point")
 	scale := flag.Float64("scale", 1, "document-size scale factor for exp4 (1 = paper-sized)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "per-query worker budget for the multicore kernels (0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
 	flag.Parse()
 
-	cfg := bench.Config{Cap: *cap, Scale: *scale, Out: os.Stdout}
+	cfg := bench.Config{Cap: *cap, Scale: *scale, Parallelism: *parallel, Out: os.Stdout}
+	cfg.FprintConfig(os.Stdout)
 	runners := map[string]func(){
 		"exp1":   func() { bench.Exp1(cfg) },
 		"exp2":   func() { bench.Exp2(cfg) },

@@ -36,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,6 +45,15 @@ import (
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// parallelOption maps the -parallel flag (0 = sequential) onto
+// engine.Options.Parallelism (-1 = sequential, 0 = GOMAXPROCS).
+func parallelOption(flag int) int {
+	if flag <= 0 {
+		return -1
+	}
+	return flag
+}
 
 // docFlags collects repeated -doc name=path flags.
 type docFlags []string
@@ -57,6 +67,7 @@ func main() {
 	strategy := flag.String("strategy", "auto", "evaluation strategy: auto|naive|datapool|bottomup|topdown|mincontext|optmincontext|corexpath|xpatterns")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "compiled-query cache capacity")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "per-query worker budget for the multicore kernels (0 = sequential)")
 	naiveBudget := flag.Int64("naive-budget", 0, "step budget for naive/datapool strategies (0 = unlimited)")
 	maxRows := flag.Int("maxrows", 0, "context-value table row limit for the bottomup strategy (0 = unlimited)")
 	fallback := flag.Bool("fallback", true, "retry queries that trip the bottomup table limit on mincontext instead of erroring")
@@ -83,6 +94,7 @@ func main() {
 		Strategy:     strat,
 		CacheSize:    *cacheSize,
 		Workers:      *workers,
+		Parallelism:  parallelOption(*parallel),
 		NaiveBudget:  *naiveBudget,
 		MaxTableRows: *maxRows,
 		Fallback:     *fallback,

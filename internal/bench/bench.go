@@ -15,6 +15,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,8 +53,28 @@ type Config struct {
 	// Scale shrinks the sweep ranges for quick runs (1 = paper-sized
 	// ranges where feasible; 0 defaults to 1).
 	Scale float64
+	// Parallelism is the worker budget handed to the engines with
+	// multicore kernels (corexpath, optmincontext); 0 or 1 keeps every
+	// measurement sequential.
+	Parallelism int
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
+}
+
+// FprintConfig prints the run configuration header. Measurements are
+// meaningless without the machine context, so the header always
+// includes GOMAXPROCS alongside the knobs of this run.
+func (c Config) FprintConfig(w io.Writer) {
+	fmt.Fprintf(w, "== config ==\n")
+	fmt.Fprintf(w, "gomaxprocs: %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "parallel:   %d\n", c.Parallelism)
+	fmt.Fprintf(w, "cap:        %s\n", c.cap())
+	scale := c.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	fmt.Fprintf(w, "scale:      %g\n", scale)
+	fmt.Fprintln(w)
 }
 
 func (c Config) cap() time.Duration {
@@ -119,10 +140,14 @@ func (r topdownRunner) run(e xpath.Expr, _ int64) (time.Duration, int64, bool, e
 	return time.Since(start), 0, false, err
 }
 
-type optmincontextRunner struct{ d *xmltree.Document }
+type optmincontextRunner struct {
+	d   *xmltree.Document
+	par int
+}
 
 func (r optmincontextRunner) run(e xpath.Expr, _ int64) (time.Duration, int64, bool, error) {
 	ev := wadler.New(r.d)
+	ev.Parallelism = r.par
 	start := time.Now()
 	_, err := ev.Evaluate(e, rootCtx(r.d))
 	return time.Since(start), 0, false, err

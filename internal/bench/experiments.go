@@ -85,7 +85,7 @@ func Exp4(cfg Config) []Series {
 		bigDocs = append(bigDocs, workload.Doc(n))
 	}
 	series := []Series{
-		docSweep(func(d *xmltree.Document) engineRunner { return cxRunner{d} },
+		docSweep(func(d *xmltree.Document) engineRunner { return cxRunner{d, cfg.Parallelism} },
 			bigDocs, query, cfg.cap()*10, "corexpath (linear, ours)"),
 	}
 	// Top-down engine on a smaller sweep (it is super-quadratic here).
@@ -225,13 +225,13 @@ func Ablation(cfg Config) []Series {
 			{"datapool", datapoolRunner{d}},
 			{"topdown", topdownRunner{d}},
 			{"mincontext", mcRunner{d}},
-			{"optmincontext", optmincontextRunner{d}},
+			{"optmincontext", optmincontextRunner{d, cfg.Parallelism}},
 		}
 		if corexpath.InFragment(e) {
 			runners = append(runners, struct {
 				name string
 				r    engineRunner
-			}{"corexpath", cxRunner{d}})
+			}{"corexpath", cxRunner{d, cfg.Parallelism}})
 		}
 		s := Series{Label: qname}
 		for _, rn := range runners {
@@ -258,10 +258,14 @@ func (r mcRunner) run(e xpath.Expr, _ int64) (time.Duration, int64, bool, error)
 	return time.Since(start), 0, false, err
 }
 
-type cxRunner struct{ d *xmltree.Document }
+type cxRunner struct {
+	d   *xmltree.Document
+	par int
+}
 
 func (r cxRunner) run(e xpath.Expr, _ int64) (time.Duration, int64, bool, error) {
 	ev := corexpath.New(r.d)
+	ev.Parallelism = r.par
 	start := time.Now()
 	_, err := ev.Evaluate(e, rootCtx(r.d))
 	return time.Since(start), 0, false, err

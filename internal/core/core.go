@@ -223,6 +223,13 @@ type Engine struct {
 	// bottomup.Evaluator.MaxTableRows. When the limit trips, Evaluate
 	// returns an error wrapping bottomup.ErrTableLimit.
 	MaxTableRows int
+
+	// Parallelism is the worker budget for the multicore kernels of the
+	// fragment engines (parallel bitset connectives, axis interval
+	// fills, posting-list scans and node-test filters). 0 or 1 runs
+	// fully sequential; results are identical at every setting. Engines
+	// without parallel kernels ignore it.
+	Parallelism int
 }
 
 // NewEngine creates an engine over a document.
@@ -293,9 +300,13 @@ func (en *Engine) EvaluateContext(ctx context.Context, q *Query, c Context) (Val
 	case MinContext:
 		return mincontext.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	case OptMinContext:
-		return wadler.New(en.doc).EvaluateContext(ctx, q.expr, c)
+		ev := wadler.New(en.doc)
+		ev.Parallelism = en.Parallelism
+		return ev.EvaluateContext(ctx, q.expr, c)
 	case CoreXPath:
-		return corexpath.New(en.doc).EvaluateContext(ctx, q.expr, c)
+		ev := corexpath.New(en.doc)
+		ev.Parallelism = en.Parallelism
+		return ev.EvaluateContext(ctx, q.expr, c)
 	case XPatterns:
 		return xpatterns.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	default:

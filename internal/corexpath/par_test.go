@@ -1,0 +1,139 @@
+package corexpath
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/semantics"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// parDoc builds a randomized document with nested structure so axis
+// images, posting-list scans and dom scans all have work to do.
+func parDoc(r *rand.Rand, n int) *xmltree.Document {
+	var b strings.Builder
+	b.WriteString(`<root>`)
+	var open []string
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0:
+			b.WriteString(`<a i="1">`)
+			open = append(open, "a")
+		case 1:
+			b.WriteString(`<b>`)
+			open = append(open, "b")
+		case 2:
+			b.WriteString(`<c/>`)
+		case 3:
+			b.WriteString(`t`)
+		default:
+			if len(open) > 0 {
+				b.WriteString(`</` + open[len(open)-1] + `>`)
+				open = open[:len(open)-1]
+			} else {
+				b.WriteString(`<c/>`)
+			}
+		}
+	}
+	for len(open) > 0 {
+		b.WriteString(`</` + open[len(open)-1] + `>`)
+		open = open[:len(open)-1]
+	}
+	b.WriteString(`</root>`)
+	d, err := xmltree.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+var parQueries = []string{
+	"child::a",
+	"descendant::b/child::c",
+	"/descendant-or-self::node()/child::a",
+	"descendant::a[child::b]",
+	"descendant::*[child::text() and child::c]",
+	"following::c",
+	"preceding::a/descendant::b",
+	"descendant::a[not(child::b)] | descendant::c",
+	"descendant::b[descendant::c or child::a]",
+}
+
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	ctx := context.Background()
+	docs := []*xmltree.Document{
+		parDoc(r, 40),
+		parDoc(r, 300),
+		// Large enough to cross the production parallel thresholds in
+		// evalutil (4096 nodes) and, on deep chains, the axes span floor.
+		parDoc(r, 9000),
+	}
+	for di, d := range docs {
+		c := semantics.Context{Node: d.RootID(), Pos: 1, Size: 1}
+		for _, src := range parQueries {
+			e := xpath.MustParse(src)
+			seq := New(d)
+			want, err := seq.EvaluateContext(ctx, e, c)
+			if err != nil {
+				t.Fatalf("doc %d %s sequential: %v", di, src, err)
+			}
+			for _, p := range []int{0, 1, 2, 8} {
+				ev := New(d)
+				ev.Parallelism = p
+				got, err := ev.EvaluateContext(ctx, e, c)
+				if err != nil {
+					t.Fatalf("doc %d %s p=%d: %v", di, src, p, err)
+				}
+				if !got.Set.Equal(want.Set) {
+					t.Fatalf("doc %d %s p=%d: parallel = %v, sequential = %v",
+						di, src, p, got.Set, want.Set)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchSetParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	ctx := context.Background()
+	d := parDoc(r, 6000)
+	for _, src := range parQueries {
+		e := xpath.MustParse(src)
+		want, err := New(d).MatchSetContext(ctx, e)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", src, err)
+		}
+		for _, p := range []int{0, 2, 8} {
+			ev := New(d)
+			ev.Parallelism = p
+			got, err := ev.MatchSetContext(ctx, e)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", src, p, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s p=%d: MatchSet parallel = %v, sequential = %v", src, p, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelEvaluateCancelled checks that a cancelled context aborts
+// a parallel evaluation: the workers each bill their own chunk, so the
+// first chunk per worker observes the cancellation.
+func TestParallelEvaluateCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	d := parDoc(r, 9000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev := New(d)
+	ev.Parallelism = 8
+	e := xpath.MustParse("descendant::*[child::text()]/child::a")
+	if _, err := ev.MatchSetContext(ctx, e); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel MatchSetContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -36,9 +36,11 @@ func (e *Engine) NewSession(d *core.Document) *Session {
 	en := core.NewEngine(d, e.opts.Strategy)
 	en.NaiveBudget = e.opts.NaiveBudget
 	en.MaxTableRows = e.opts.MaxTableRows
+	en.Parallelism = e.opts.Parallelism
 	s := &Session{eng: e, doc: d, en: en, workers: e.opts.Workers}
 	if e.opts.Fallback {
 		s.fb = core.NewEngine(d, core.MinContext)
+		s.fb.Parallelism = e.opts.Parallelism
 	}
 	// Build the document's structural index now, at registration time,
 	// so the first query served does not pay the O(|dom|) index build.

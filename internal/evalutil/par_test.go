@@ -1,0 +1,126 @@
+package evalutil
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/axes"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// shrinkFilterPar drops the size floors so small documents exercise
+// the parallel scan, restoring the defaults afterwards.
+func shrinkFilterPar(t *testing.T) {
+	mn, ch := filterParMin, filterChunk
+	filterParMin, filterChunk = 2, 3
+	t.Cleanup(func() { filterParMin, filterChunk = mn, ch })
+}
+
+// parTestDoc builds a flat-ish random document mixing names, text and
+// attributes.
+func parTestDoc(r *rand.Rand, n int) *xmltree.Document {
+	var b strings.Builder
+	b.WriteString(`<root>`)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			b.WriteString(`<a x="1"><b/></a>`)
+		case 1:
+			b.WriteString(`<b>t</b>`)
+		case 2:
+			b.WriteString(`<c/>`)
+		default:
+			b.WriteString(`t`)
+		}
+	}
+	b.WriteString(`</root>`)
+	d, err := xmltree.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestFilterTestParMatchesSequential(t *testing.T) {
+	shrinkFilterPar(t)
+	r := rand.New(rand.NewSource(21))
+	ctx := context.Background()
+	tests := []xpath.NodeTest{
+		{Kind: xpath.TestName, Name: "*"},
+		{Kind: xpath.TestName, Name: "b"},
+		{Kind: xpath.TestNode},
+		{Kind: xpath.TestText},
+	}
+	for round := 0; round < 20; round++ {
+		d := parTestDoc(r, 5+r.Intn(120))
+		s := make(xmltree.NodeSet, 0, d.Len())
+		for i := 0; i < d.Len(); i++ {
+			if r.Intn(3) != 0 {
+				s = append(s, xmltree.NodeID(i))
+			}
+		}
+		for _, nt := range tests {
+			for _, a := range []axes.Axis{axes.Child, axes.Descendant} {
+				want := FilterTest(d, a, nt, s)
+				for _, p := range []int{0, 1, 2, 8} {
+					got, err := FilterTestPar(ctx, d, a, nt, s, p)
+					if err != nil {
+						t.Fatalf("FilterTestPar(p=%d): %v", p, err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("FilterTestPar(%v, p=%d) = %v, sequential = %v", nt, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStepCandidatesSetParMatchesSequential(t *testing.T) {
+	shrinkFilterPar(t)
+	r := rand.New(rand.NewSource(22))
+	ctx := context.Background()
+	steps := []string{"child::b", "descendant::a", "descendant-or-self::node()",
+		"following::c", "preceding::*", "child::text()"}
+	for round := 0; round < 20; round++ {
+		d := parTestDoc(r, 5+r.Intn(120))
+		xs := xmltree.NodeSet{d.RootID()}
+		if de := d.DocumentElement(); de != xmltree.NilNode && r.Intn(2) == 0 {
+			xs = xmltree.NodeSet{de}
+		}
+		for _, src := range steps {
+			p := xpath.MustParse(src).(*xpath.Path)
+			st := p.Steps[len(p.Steps)-1]
+			want := StepCandidatesSet(d, st.Axis, st.Test, xs)
+			for _, par := range []int{0, 1, 2, 8} {
+				got, err := StepCandidatesSetPar(ctx, d, st.Axis, st.Test, xs, par)
+				if err != nil {
+					t.Fatalf("StepCandidatesSetPar(%s, p=%d): %v", src, par, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("StepCandidatesSetPar(%s, p=%d) = %v, sequential = %v", src, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterTestParCancelled runs at production thresholds: chunks of
+// filterChunk nodes exceed the Canceller consult throttle, so every
+// worker's first chunk observes the cancelled context.
+func TestFilterTestParCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	d := parTestDoc(r, 4000)
+	s := make(xmltree.NodeSet, d.Len())
+	for i := range s {
+		s[i] = xmltree.NodeID(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FilterTestPar(ctx, d, axes.Child, xpath.NodeTest{Kind: xpath.TestNode}, s, 8); err != context.Canceled {
+		t.Fatalf("FilterTestPar on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

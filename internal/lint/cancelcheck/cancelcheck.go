@@ -7,6 +7,17 @@
 // or if the enclosing function bills the whole operation with a
 // checkpoint before the loop (the bulk CheckN idiom).
 //
+// Spawned workers are billed separately: a function literal that runs
+// concurrently with its spawner — the callee or an argument of a go
+// statement, or a worker handed to xmltree.ParDo — cannot lean on a
+// checkpoint in the spawning function, because "billed before the
+// loop" is a happens-before argument and the worker's loop does not
+// happen after the spawner's checkpoint in any useful sense: the
+// spawner bills once, then every worker would run unbilled. Loops
+// inside a spawned literal therefore need a checkpoint within that
+// same literal; conversely a checkpoint inside a spawned literal never
+// covers a loop outside it.
+//
 // The analyzer self-gates on canceller access: a function is only
 // examined when it can reach a canceller at all — it mentions a
 // *evalutil.Canceller-typed expression, or its receiver or a parameter
@@ -17,6 +28,7 @@ package cancelcheck
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/lint/analysis"
@@ -203,8 +215,47 @@ func isNodeSlice(info *types.Info, e ast.Expr) bool {
 	return false
 }
 
+// spawnedWorkers collects the function literals in body that run
+// concurrently with the enclosing function: the callee or an argument
+// of a go statement, and funclit arguments to xmltree.ParDo. A
+// checkpoint in the spawning function happens before the worker is
+// even scheduled, so it cannot stand in for billing inside the worker.
+func spawnedWorkers(info *types.Info, body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	add := func(e ast.Expr) {
+		if fl, ok := ast.Unparen(e).(*ast.FuncLit); ok {
+			out = append(out, fl)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			add(s.Call.Fun)
+			for _, a := range s.Call.Args {
+				add(a)
+			}
+		case *ast.CallExpr:
+			if fn := lintutil.CalleeOf(info, s); fn != nil && fn.Name() == "ParDo" &&
+				fn.Pkg() != nil && fn.Pkg().Name() == "xmltree" {
+				for _, a := range s.Args {
+					add(a)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// within reports whether n lies inside the range [lo, hi].
+func within(n ast.Node, lo, hi token.Pos) bool {
+	return n.Pos() >= lo && n.End() <= hi
+}
+
 // checkFunc flags every document-sized loop in fd that has no
-// checkpoint inside its body and none before it in the function.
+// checkpoint inside its body and none before it in its billing scope —
+// the innermost spawned worker literal containing the loop, or the
+// whole function when the loop runs on the spawning goroutine.
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, checking map[*types.Func]bool) {
 	// All positions in fd where a checkpoint provably runs: direct
 	// Check/CheckN calls and calls into the package's checking set.
@@ -223,16 +274,39 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, checking map[*types.Func]b
 		}
 		return true
 	})
+	spawned := spawnedWorkers(pass.TypesInfo, fd.Body)
+	// scopeOf returns the billing scope of node n: the body range of
+	// the innermost spawned worker containing it, or the function body.
+	scopeOf := func(n ast.Node) (token.Pos, token.Pos, bool) {
+		lo, hi, inWorker := fd.Body.Pos(), fd.Body.End(), false
+		for _, fl := range spawned {
+			if within(n, fl.Body.Pos(), fl.Body.End()) && (!inWorker || fl.Body.Pos() >= lo) {
+				lo, hi, inWorker = fl.Body.Pos(), fl.Body.End(), true
+			}
+		}
+		return lo, hi, inWorker
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		body := docSizedLoop(pass.TypesInfo, n)
 		if body == nil {
 			return true
 		}
+		lo, hi, inWorker := scopeOf(n)
 		for _, c := range checkPos {
+			if !within(c, lo, hi) {
+				continue // a different goroutine's checkpoint cannot bill this loop
+			}
+			if cLo, cHi, cWorker := scopeOf(c); cWorker != inWorker || cLo != lo || cHi != hi {
+				continue // checkpoint sits in a nested worker, not on this loop's goroutine
+			}
 			// Inside the loop body, or billed before the loop starts.
 			if (c.Pos() >= body.Pos() && c.End() <= body.End()) || c.End() <= n.Pos() {
 				return true
 			}
+		}
+		if inWorker {
+			pass.Reportf(n.Pos(), "document-sized loop in a spawned worker without a cancellation checkpoint: the worker must bill its own chunk with Canceller.CheckN or call Check inside the loop")
+			return true
 		}
 		pass.Reportf(n.Pos(), "document-sized loop without a cancellation checkpoint: bill it with Canceller.CheckN before the loop or call Check inside it")
 		return true

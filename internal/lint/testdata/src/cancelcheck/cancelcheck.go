@@ -77,6 +77,78 @@ func (ev *eval) checkedTransitively(set xmltree.NodeSet) error {
 	return nil
 }
 
+// A goroutine's loop cannot lean on the spawner's bulk bill: the
+// worker runs concurrently with (and after) the spawner's checkpoint,
+// so every worker would run unbilled.
+func (ev *eval) spawnUnbilled(set xmltree.NodeSet, done chan<- int) error {
+	if err := ev.cancel.CheckN(len(set)); err != nil {
+		return err
+	}
+	go func() {
+		total := 0
+		for _, n := range set { // want `document-sized loop in a spawned worker without a cancellation checkpoint`
+			total += int(n)
+		}
+		done <- total
+	}()
+	return nil
+}
+
+// A ParDo worker with no checkpoint of its own is flagged even though
+// the spawner billed the whole operation first.
+func (ev *eval) parDoUnbilled(set xmltree.NodeSet) error {
+	if err := ev.cancel.CheckN(len(set)); err != nil {
+		return err
+	}
+	xmltree.ParDo(4, 4, func(k int) {
+		for _, n := range set { // want `document-sized loop in a spawned worker without a cancellation checkpoint`
+			_ = n
+		}
+	})
+	return nil
+}
+
+// A worker that bills its own chunk inside the literal is covered.
+func (ev *eval) parDoBilled(set xmltree.NodeSet) {
+	xmltree.ParDo(4, 4, func(k int) {
+		if ev.cancel.CheckN(len(set)/4) != nil {
+			return
+		}
+		for _, n := range set {
+			_ = n
+		}
+	})
+}
+
+// The converse direction: a checkpoint inside a spawned worker never
+// covers a loop running on the spawning goroutine.
+func (ev *eval) workerCheckDoesNotLeak(set xmltree.NodeSet) int {
+	go func() {
+		_ = ev.cancel.Check()
+	}()
+	total := 0
+	for _, n := range set { // want `document-sized loop without a cancellation checkpoint`
+		total += int(n)
+	}
+	return total
+}
+
+// A non-spawned literal (called synchronously on the same goroutine)
+// keeps the old rule: the bulk bill before the call covers its loop.
+func (ev *eval) inlineLiteralBilled(set xmltree.NodeSet) (int, error) {
+	if err := ev.cancel.CheckN(len(set)); err != nil {
+		return 0, err
+	}
+	sum := func() int {
+		total := 0
+		for _, n := range set {
+			total += int(n)
+		}
+		return total
+	}
+	return sum(), nil
+}
+
 // No canceller in scope: out of the analyzer's scope — the invariant
 // is the caller's.
 func plainHelper(set xmltree.NodeSet) int {

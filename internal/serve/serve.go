@@ -655,11 +655,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"compile_ns_saved":   st.CompileNanosSaved,
 			"compile_time_saved": (time.Duration(st.CompileNanosSaved)).String(),
 		},
-		"in_flight": st.InFlight,
-		"fallbacks": st.Fallbacks,
-		"strategy":  s.eng.Strategy().String(),
-		"documents": docs,
-		"store":     s.docs.Stats(),
+		"in_flight":   st.InFlight,
+		"fallbacks":   st.Fallbacks,
+		"strategy":    s.eng.Strategy().String(),
+		"parallelism": s.eng.Parallelism(),
+		"documents":   docs,
+		"store":       s.docs.Stats(),
 	})
 }
 

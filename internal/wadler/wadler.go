@@ -45,6 +45,11 @@ import (
 type Evaluator struct {
 	doc *xmltree.Document
 
+	// Parallelism is the worker budget for the whole-document scans of
+	// the bottom-up phase (node-test filters and inverse axis images).
+	// 0 or 1 evaluates sequentially; results are identical either way.
+	Parallelism int
+
 	// Stats filled by the last Evaluate call.
 	LastBottomUpPaths int // number of subexpressions evaluated bottom-up
 }
@@ -66,7 +71,7 @@ func (ev *Evaluator) Evaluate(e xpath.Expr, c semantics.Context) (semantics.Valu
 func (ev *Evaluator) EvaluateContext(ctx context.Context, e xpath.Expr, c semantics.Context) (semantics.Value, error) {
 	mc := mincontext.New(ev.doc)
 	st := &state{doc: ev.doc, pre: map[xpath.Expr][]bool{}, scalar: topdown.New(ev.doc),
-		ctx: ctx, cancel: evalutil.NewCanceller(ctx)}
+		ctx: ctx, cancel: evalutil.NewCanceller(ctx), par: ev.Parallelism}
 	if err := st.collect(e); err != nil {
 		return semantics.Value{}, err
 	}
@@ -86,6 +91,16 @@ type state struct {
 	scalar *topdown.Evaluator // for context-independent operands c
 	ctx    context.Context    // cancellation for the scalar evaluations
 	cancel *evalutil.Canceller
+	par    int // worker budget for whole-document scans
+}
+
+// context returns the evaluation context, defaulting to Background for
+// the bare fragment-checking states built without one.
+func (st *state) context() context.Context {
+	if st.ctx != nil {
+		return st.ctx
+	}
+	return context.Background()
 }
 
 // evalScalar evaluates a context-independent operand from the root with
@@ -624,7 +639,10 @@ func (st *state) propagateIDHead(e xpath.Expr, cur xmltree.NodeSet) (xmltree.Nod
 // that depend on position/size run in a loop over the pairs of
 // previous/current context node, as in the appendix pseudocode.
 func (st *state) propagateStepBackwards(step *xpath.Step, y xmltree.NodeSet) (xmltree.NodeSet, error) {
-	yt := evalutil.FilterTest(st.doc, step.Axis, step.Test, y)
+	yt, err := evalutil.FilterTestPar(st.context(), st.doc, step.Axis, step.Test, y, st.par)
+	if err != nil {
+		return nil, err
+	}
 	if len(yt) == 0 {
 		return nil, nil
 	}
@@ -654,13 +672,38 @@ func (st *state) propagateStepBackwards(step *xpath.Step, y xmltree.NodeSet) (xm
 				return nil, nil
 			}
 		}
-		return axes.EvalInverse(st.doc, step.Axis, yt), nil
+		return axes.EvalInversePar(st.context(), st.doc, step.Axis, yt, nil, st.par)
 	}
 	// Position-dependent: loop over previous context nodes x and their
 	// candidate sets. Note the candidate set Z (and thus the context
 	// size) must be computed over ALL candidates of x, not only those in
 	// yt; positions refer to the unrestricted step result.
-	xs := axes.EvalInverse(st.doc, step.Axis, yt)
+	xs, err := axes.EvalInversePar(st.context(), st.doc, step.Axis, yt, nil, st.par)
+	if err != nil {
+		return nil, err
+	}
+	if step.Axis == axes.Child && evalutil.ExactElementName(step.Axis, step.Test) && len(step.Preds) == 1 {
+		// Index-served positions: child::name candidates are the name's
+		// posting-list slice over x's subtree interval restricted to
+		// direct children, already in document order — position() is the
+		// rank in that scan and last() its length, with no candidate set
+		// materialized or sorted. Compact the survivors of xs in place.
+		k := 0
+		for _, x := range xs {
+			if err := st.cancel.Check(); err != nil {
+				return nil, err
+			}
+			ok, err := st.childNamedSurvives(x, step.Test.Name, step.Preds[0], yt)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				xs[k] = x
+				k++
+			}
+		}
+		return xs[:k], nil
+	}
 	var out xmltree.NodeSet
 	for _, x := range xs {
 		if err := st.cancel.Check(); err != nil {
@@ -686,6 +729,47 @@ func (st *state) propagateStepBackwards(step *xpath.Step, y xmltree.NodeSet) (xm
 		}
 	}
 	return xmltree.NewNodeSet(out...), nil
+}
+
+// childNamedSurvives reports whether a previous-context node x survives
+// a positional child::name[pred] step: whether some direct child of x
+// named name satisfies pred at its index-served (position, last) and
+// lies in yt. The first pass over the posting-list slice counts the
+// context size, the second evaluates the predicate at each rank; both
+// are plain slice scans, so the check allocates nothing.
+func (st *state) childNamedSurvives(x xmltree.NodeID, name string, pred xpath.Expr, yt xmltree.NodeSet) (bool, error) {
+	ix := st.doc.Index()
+	sub := ix.NamedRange(name, x+1, ix.SubtreeEnd(x))
+	if err := st.cancel.CheckN(2 * len(sub)); err != nil { // both scans of the posting-list slice
+		return false, err
+	}
+	size := 0
+	for _, y := range sub {
+		if st.doc.Parent(y) == x {
+			size++
+		}
+	}
+	if size == 0 {
+		return false, nil
+	}
+	pos := 0
+	for _, y := range sub {
+		if st.doc.Parent(y) != x {
+			continue
+		}
+		pos++
+		if !yt.Contains(y) {
+			continue
+		}
+		v, err := st.evalPred(pred, semantics.Context{Node: y, Pos: pos, Size: size})
+		if err != nil {
+			return false, err
+		}
+		if semantics.ToBoolean(v) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // evalPred evaluates a predicate for a single context, consulting the

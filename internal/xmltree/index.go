@@ -35,6 +35,13 @@ type Index struct {
 	// precomputations of Theorem 10.8).
 	byName map[string]NodeSet
 
+	// contentBefore[i] counts the content (non-attribute,
+	// non-namespace) nodes among [0, i): prefix sums that give the
+	// exact size of any preorder subrange's axis contribution in O(1),
+	// which is what lets parallel interval fills compute each worker's
+	// output offset up front and write disjoint regions of one buffer.
+	contentBefore []int32
+
 	// scratch pools evaluator scratch sized to this document, making
 	// steady-state axis evaluation allocation-free.
 	scratch sync.Pool
@@ -51,11 +58,16 @@ func (d *Document) Index() *Index {
 
 func buildIndex(d *Document) *Index {
 	n := len(d.nodes)
-	idx := &Index{d: d, subtreeEnd: make([]NodeID, n), byName: map[string]NodeSet{}}
+	idx := &Index{d: d, subtreeEnd: make([]NodeID, n), byName: map[string]NodeSet{},
+		contentBefore: make([]int32, n+1)}
 	for i := 0; i < n; i++ {
 		idx.subtreeEnd[i] = NodeID(i + 1)
 		if d.nodes[i].Type == Element {
 			idx.byName[d.nodes[i].Name] = append(idx.byName[d.nodes[i].Name], NodeID(i))
+		}
+		idx.contentBefore[i+1] = idx.contentBefore[i]
+		if !d.nodes[i].IsAttrOrNS() {
+			idx.contentBefore[i+1]++
 		}
 	}
 	// One reverse pass: by the time node i is visited all its
@@ -78,6 +90,16 @@ func (ix *Index) SubtreeEnd(x NodeID) NodeID { return ix.subtreeEnd[x] }
 // Named returns the document-ordered set of elements with the given
 // name. The returned slice is shared and must not be mutated.
 func (ix *Index) Named(name string) NodeSet { return ix.byName[name] }
+
+// ContentCount returns the number of content (non-attribute,
+// non-namespace) nodes in the preorder interval [lo, hi), in O(1) via
+// the prefix counts.
+func (ix *Index) ContentCount(lo, hi NodeID) int {
+	if lo >= hi {
+		return 0
+	}
+	return int(ix.contentBefore[hi] - ix.contentBefore[lo])
+}
 
 // NamedRange returns the subrange of Named(name) falling inside the
 // half-open document-order interval [lo, hi), by binary search.

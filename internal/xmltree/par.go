@@ -1,0 +1,231 @@
+package xmltree
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the multicore substrate under the evaluation engines: a
+// small shared worker pool plus word-range-parallel variants of the
+// Bitset algebra and the Accumulator flush. The preorder arena makes
+// the parallelism embarrassing — bitset words and subtree intervals
+// partition cleanly — so the paper's per-core linear-time bound is
+// preserved while the constant divides by the worker count.
+//
+// Design rules, shared with internal/axes/par.go:
+//
+//   - The pool is global and lazily grown (never shrunk); workers block
+//     on a task channel and are reused across queries, so a parallel
+//     operation costs two small allocations (job header + closure), not
+//     a goroutine spawn per call.
+//   - Task offers are non-blocking and the calling goroutine always
+//     participates, so a saturated pool degrades to sequential
+//     execution on the caller and nested ParDo calls cannot deadlock.
+//   - Completion is tracked per chunk, not per helper: a job token left
+//     in the queue behind other work cannot delay the caller once the
+//     chunks are done (a late worker sees no chunks left and moves on).
+//   - Every parallel entry point takes an explicit worker budget p and
+//     falls back to the sequential implementation when p <= 1 or the
+//     operand is below a size threshold, so small documents never pay
+//     goroutine handoff latency.
+
+// ParMinWords is the bitset size floor, in 64-bit words, below which
+// the Par* word-parallel operations run sequentially. A word op streams
+// at memory bandwidth, so only operands past ~32 KiB can amortize the
+// microsecond-scale cost of waking pool workers.
+const ParMinWords = 4096
+
+// maxPar bounds the per-operation worker budget (and thus the lazily
+// grown shared pool) regardless of what a caller passes.
+const maxPar = 64
+
+var (
+	parTasks   = make(chan *parJob, 4*maxPar)
+	parSpawned atomic.Int32
+	parMu      sync.Mutex
+)
+
+// parJob is one ParDo invocation: helpers claim chunk indices from a
+// shared counter (work stealing, so uneven chunks balance) and the
+// WaitGroup counts completed chunks. Jobs are not reused: a stale token
+// drained from the queue after the caller returned may still touch next
+// and chunks, so the job must stay immutable once published.
+type parJob struct {
+	fn     func(int)
+	chunks int32
+	next   atomic.Int32
+	wg     sync.WaitGroup
+}
+
+func (j *parJob) run() {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.chunks {
+			return
+		}
+		j.fn(int(i))
+		j.wg.Done()
+	}
+}
+
+// ensureWorkers grows the shared pool to at least n blocked workers.
+func ensureWorkers(n int) {
+	if int(parSpawned.Load()) >= n {
+		return
+	}
+	parMu.Lock()
+	for int(parSpawned.Load()) < n {
+		parSpawned.Add(1)
+		go func() {
+			for j := range parTasks {
+				j.run()
+			}
+		}()
+	}
+	parMu.Unlock()
+}
+
+// ParDo runs fn(k) for every chunk k in [0, chunks), spread over up to
+// p goroutines: up to p-1 shared pool workers plus the calling
+// goroutine, which always participates. Chunks are claimed from a
+// shared counter, so helpers that start late (or never arrive, when
+// the pool is saturated) only shift work onto the others; fn(k) is
+// invoked exactly once per chunk either way. ParDo returns when every
+// chunk has completed. p <= 1 (or a single chunk) runs fn inline with
+// no synchronization at all.
+func ParDo(p, chunks int, fn func(int)) {
+	if chunks <= 0 {
+		return
+	}
+	if p > maxPar {
+		p = maxPar
+	}
+	if p > chunks {
+		p = chunks
+	}
+	if p <= 1 {
+		for i := 0; i < chunks; i++ {
+			fn(i)
+		}
+		return
+	}
+	j := &parJob{fn: fn, chunks: int32(chunks)}
+	j.wg.Add(chunks)
+	ensureWorkers(p - 1)
+	for i := 0; i < p-1; i++ {
+		select {
+		case parTasks <- j:
+		default:
+			// Queue full: the pool is saturated with other jobs; the
+			// caller (and any helper that does arrive) absorbs the
+			// chunks instead of blocking here.
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}
+
+// chunkBounds splits [0, n) into `chunks` near-equal half-open ranges
+// and returns the k-th.
+func chunkBounds(n, chunks, k int) (lo, hi int) {
+	return k * n / chunks, (k + 1) * n / chunks
+}
+
+// ParUnion sets b = b ∪ c like UnionWith, splitting the word range
+// across the shared pool. Results are bit-identical to UnionWith for
+// any p: chunks write disjoint word ranges.
+func (b *Bitset) ParUnion(c *Bitset, p int) {
+	bw, cw := b.words, c.words
+	if p <= 1 || len(cw) < ParMinWords {
+		b.UnionWith(c)
+		return
+	}
+	ParDo(p, p, func(k int) {
+		lo, hi := chunkBounds(len(cw), p, k)
+		for i := lo; i < hi; i++ {
+			bw[i] |= cw[i]
+		}
+	})
+}
+
+// ParIntersect sets b = b ∩ c like IntersectWith, word-range parallel.
+func (b *Bitset) ParIntersect(c *Bitset, p int) {
+	bw, cw := b.words, c.words
+	if p <= 1 || len(cw) < ParMinWords {
+		b.IntersectWith(c)
+		return
+	}
+	ParDo(p, p, func(k int) {
+		lo, hi := chunkBounds(len(cw), p, k)
+		for i := lo; i < hi; i++ {
+			bw[i] &= cw[i]
+		}
+	})
+}
+
+// ParMinus sets b = b − c like MinusWith, word-range parallel.
+func (b *Bitset) ParMinus(c *Bitset, p int) {
+	bw, cw := b.words, c.words
+	if p <= 1 || len(cw) < ParMinWords {
+		b.MinusWith(c)
+		return
+	}
+	ParDo(p, p, func(k int) {
+		lo, hi := chunkBounds(len(cw), p, k)
+		for i := lo; i < hi; i++ {
+			bw[i] &^= cw[i]
+		}
+	})
+}
+
+// ResultPar is Result with the flush parallelized: pass one popcounts
+// each chunk of the touched word range to compute exact output
+// offsets, pass two extracts every chunk into its disjoint region of
+// one exactly-sized allocation (folding the Reset clear into the
+// walk). The returned NodeSet is element-for-element identical to what
+// Result would have produced; only the capacity may differ (exact
+// rather than the duplicate-counting upper bound).
+func (a *Accumulator) ResultPar(p int) NodeSet {
+	words := a.hiW - a.loW
+	if p <= 1 || words < ParMinWords {
+		return a.Result()
+	}
+	w := a.b.words
+	loW := a.loW
+	counts := make([]int, p)
+	ParDo(p, p, func(k int) {
+		lo, hi := chunkBounds(words, p, k)
+		n := 0
+		for i := loW + lo; i < loW+hi; i++ {
+			n += bits.OnesCount64(w[i])
+		}
+		counts[k] = n
+	})
+	total := 0
+	for k, n := range counts {
+		counts[k] = total
+		total += n
+	}
+	if total == 0 {
+		a.Reset()
+		return nil
+	}
+	dst := make(NodeSet, total)
+	ParDo(p, p, func(k int) {
+		lo, hi := chunkBounds(words, p, k)
+		out := counts[k]
+		for i := loW + lo; i < loW+hi; i++ {
+			word := w[i]
+			base := NodeID(i * wordBits)
+			for word != 0 {
+				dst[out] = base + NodeID(bits.TrailingZeros64(word))
+				out++
+				word &= word - 1
+			}
+			w[i] = 0
+		}
+	})
+	a.total, a.loW, a.hiW = 0, len(w), 0
+	return dst
+}

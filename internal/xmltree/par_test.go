@@ -1,0 +1,134 @@
+package xmltree
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// parLevels is the randomized parallelism corpus: 0 and 1 take the
+// sequential fast path, 2 and 8 exercise the pool (8 oversubscribes
+// the 1-CPU CI box, which is exactly what shakes out ordering
+// assumptions under -race).
+var parLevels = []int{0, 1, 2, 8}
+
+// randBits fills a bitset with random words; sizes straddle
+// ParMinWords so both the sequential fast path and the parallel chunk
+// path run.
+func randBits(r *rand.Rand, n int) *Bitset {
+	b := NewBitset(n)
+	for i := range b.words {
+		b.words[i] = r.Uint64()
+	}
+	b.trim()
+	return b
+}
+
+func TestParBitsetMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sizes := []int{0, 1, 63, 64, 1000, ParMinWords*wordBits - 1, ParMinWords * wordBits, ParMinWords*wordBits + 777}
+	for _, n := range sizes {
+		for trial := 0; trial < 3; trial++ {
+			x := randBits(r, n)
+			y := randBits(r, n)
+			for _, p := range parLevels {
+				for _, op := range []struct {
+					name string
+					seq  func(b, c *Bitset)
+					par  func(b, c *Bitset)
+				}{
+					{"union", (*Bitset).UnionWith, func(b, c *Bitset) { b.ParUnion(c, p) }},
+					{"intersect", (*Bitset).IntersectWith, func(b, c *Bitset) { b.ParIntersect(c, p) }},
+					{"minus", (*Bitset).MinusWith, func(b, c *Bitset) { b.ParMinus(c, p) }},
+				} {
+					want, got := x.Clone(), x.Clone()
+					op.seq(want, y)
+					op.par(got, y)
+					if !got.Equal(want) {
+						t.Fatalf("n=%d p=%d %s: parallel differs from sequential", n, p, op.name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAccumulatorResultParMatchesResult(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	sizes := []int{100, ParMinWords*wordBits + 5000}
+	for _, n := range sizes {
+		for _, p := range parLevels {
+			seq := NewAccumulator(n)
+			par := NewAccumulator(n)
+			for round := 0; round < 5; round++ {
+				for add := 0; add < 4; add++ {
+					var s NodeSet
+					for i := 0; i < n; i++ {
+						if r.Intn(16) == 0 {
+							s = append(s, NodeID(i))
+						}
+					}
+					seq.Add(s)
+					par.Add(s)
+				}
+				want := seq.Result()
+				got := par.ResultPar(p)
+				if !got.Equal(want) {
+					t.Fatalf("n=%d p=%d round=%d: ResultPar = %d nodes, Result = %d nodes",
+						n, p, round, len(got), len(want))
+				}
+			}
+			// Both accumulators must come back clean for the next union.
+			seq.Add(NodeSet{1})
+			par.Add(NodeSet{1})
+			if w, g := seq.Result(), par.ResultPar(p); !g.Equal(w) || len(g) != 1 {
+				t.Fatalf("n=%d p=%d: accumulator state dirty after parallel flush: %v vs %v", n, p, g, w)
+			}
+		}
+	}
+}
+
+// TestParDoRunsEveryChunkOnce pins the ParDo contract under pool
+// saturation and nesting: every chunk index runs exactly once.
+func TestParDoRunsEveryChunkOnce(t *testing.T) {
+	for _, p := range parLevels {
+		for _, chunks := range []int{0, 1, 3, 17, 256} {
+			hits := make([]atomic.Int32, chunks)
+			ParDo(p, chunks, func(k int) {
+				hits[k].Add(1)
+				// Nested ParDo must not deadlock even when the pool is
+				// saturated by the outer job.
+				ParDo(p, 2, func(int) {})
+			})
+			for k := range hits {
+				if got := hits[k].Load(); got != 1 {
+					t.Fatalf("p=%d chunks=%d: chunk %d ran %d times", p, chunks, k, got)
+				}
+			}
+		}
+	}
+}
+
+func TestContentCount(t *testing.T) {
+	d, err := ParseString(`<a x="1"><b>t</b><c y="2"><d/></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := d.Index()
+	for lo := 0; lo <= d.Len(); lo++ {
+		for hi := lo; hi <= d.Len(); hi++ {
+			want := 0
+			for i := lo; i < hi; i++ {
+				if !d.Node(NodeID(i)).IsAttrOrNS() {
+					want++
+				}
+			}
+			if got := ix.ContentCount(NodeID(lo), NodeID(hi)); got != want {
+				t.Fatalf("ContentCount(%d,%d) = %d, want %d", lo, hi, got, want)
+			}
+		}
+	}
+	if got := ix.ContentCount(3, 1); got != 0 {
+		t.Fatalf("ContentCount on empty interval = %d, want 0", got)
+	}
+}
