@@ -13,7 +13,10 @@
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // measured experiments, so performance PRs can attach `go tool pprof`
-// evidence for where the time and allocations go.
+// evidence for where the time and allocations go. -blockprofile and
+// -mutexprofile add the contention profiles that matter for the worker
+// pools and multicore kernels: where goroutines block and which locks
+// they fight over.
 package main
 
 import (
@@ -42,6 +45,8 @@ func run() (exitCode int) {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "per-query worker budget for the multicore kernels (0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile taken after the run to `file`")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile taken after the run to `file`")
 	flag.Parse()
 
 	cfg := bench.Config{Cap: *cap, Scale: *scale, Parallelism: *parallel, Out: os.Stdout}
@@ -99,9 +104,48 @@ func run() (exitCode int) {
 			}
 		}()
 	}
+	// Contention profiles for the worker pools and multicore kernels:
+	// sampling must be on BEFORE the experiments run, and the lookup
+	// profiles are written after, mirroring the heap-profile pattern.
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			if err := writeLookupProfile("block", *blockprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "xpathbench: %v\n", err)
+				exitCode = 1
+			}
+		}()
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			if err := writeLookupProfile("mutex", *mutexprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "xpathbench: %v\n", err)
+				exitCode = 1
+			}
+		}()
+	}
 
 	for _, r := range todo {
 		r()
 	}
 	return exitCode
+}
+
+// writeLookupProfile writes one of the runtime's named profiles
+// ("block", "mutex") to path.
+func writeLookupProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("no %s profile in this runtime", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("write %s profile: %v", name, err)
+	}
+	return nil
 }

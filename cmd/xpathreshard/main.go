@@ -33,11 +33,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -49,16 +51,27 @@ func main() {
 	dryRun := flag.Bool("dry-run", false, "print the movement plan without copying or pruning")
 	prune := flag.Bool("prune", false, "delete off-placement copies after a document's copies all land")
 	timeout := flag.Duration("timeout", cluster.DefaultTimeout, "per-node call timeout")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	flag.Parse()
+
+	// Errors go through slog on stderr; the movement plan itself stays
+	// plain lines on stdout (Log below), where scripts expect it.
+	level, lerr := obs.ParseLogLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "xpathreshard: %v\n", lerr)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	slog.SetDefault(logger)
 
 	fromNodes, err := cluster.ParsePeers(*from, *timeout)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "xpathreshard: -from: %v\n", err)
+		logger.Error("invalid -from", "err", err)
 		os.Exit(2)
 	}
 	toNodes, err := cluster.ParsePeers(*to, *timeout)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "xpathreshard: -to: %v\n", err)
+		logger.Error("invalid -to", "err", err)
 		os.Exit(2)
 	}
 	// Interrupting the migration is safe (the run is resumable), so
@@ -78,7 +91,7 @@ func main() {
 		Log:            os.Stdout,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "xpathreshard: %v\n", err)
+		logger.Error("reshard failed", "err", err, "copy_errors", sum.Errors)
 		if sum.Errors > 0 {
 			os.Exit(1)
 		}

@@ -20,7 +20,16 @@
 //	POST   /batch      {"doc": "d", ...}             single-doc batch, relayed
 //	POST   /batch      {"docs": ["d","e"], ...}      scatter-gather, one stream per node
 //	GET    /stats                                    per-node stats + fleet totals
-//	GET    /health                                   per-peer health + ring description
+//	GET    /health                                   per-peer health + ring description (+ uptime, build)
+//	GET    /metrics                                  Prometheus text-format metrics
+//	GET    /debug/traces                             recent request span trees (JSON)
+//
+// Observability: the router mints an X-Request-Id per request and
+// forwards it to the backends, so one ID correlates router logs,
+// backend logs and every NDJSON batch line; ?trace=1 on /query splices
+// the owning backend's span tree into the router's own and returns the
+// combined report inline; -slow-query logs the span tree of slow
+// requests; -debug-addr serves net/http/pprof on a side address.
 //
 // The -peers list becomes a canonically ordered placement ring
 // (stamped -ring-generation): reordering the flag never moves
@@ -47,14 +56,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -70,7 +81,18 @@ func main() {
 	timeout := flag.Duration("timeout", cluster.DefaultTimeout, "per-backend-call timeout (batch streams are exempt beyond dial/header latency)")
 	healthEvery := flag.Duration("health-interval", 5*time.Second, "background health probe period")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (match the backends' -max-body)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	slowQuery := flag.Duration("slow-query", 0, "log the full span tree of requests at least this slow (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathrouter: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	slog.SetDefault(logger)
 
 	nodes, err := parsePeers(*peers, *timeout)
 	if err != nil {
@@ -94,6 +116,8 @@ func main() {
 		Timeout:         *timeout,
 		HealthInterval:  *healthEvery,
 		MaxBody:         *maxBody,
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
 	}
 	if *drainPeers != "" {
 		opts.DrainPeers, err = cluster.ParsePeers(*drainPeers, *timeout)
@@ -110,13 +134,23 @@ func main() {
 	router.Start()
 	defer router.Stop()
 
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
+
 	ring := router.Ring()
 	names := make([]string, 0, ring.Len())
 	for _, n := range ring.Peers() {
 		names = append(names, n.Name())
 	}
-	log.Printf("xpathrouter listening on %s (ring=%v generation=%d replicas=%d replica-retry=%d timeout=%v)",
-		*addr, names, ring.Generation(), *replicas, *retries, *timeout)
+	logger.Info("xpathrouter listening",
+		"addr", *addr, "ring", fmt.Sprint(names), "generation", ring.Generation(),
+		"replicas", *replicas, "replica_retry", *retries, "timeout", *timeout)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           router.Handler(),
@@ -124,7 +158,8 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	if err := hs.ListenAndServe(); err != nil {
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
 }
 

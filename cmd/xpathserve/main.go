@@ -16,7 +16,15 @@
 //	POST   /query      {"doc": "d", "query": "count(//b)"}    same, JSON body
 //	POST   /batch      {"doc": "d", "queries": ["//b", ...]}  streaming batch (JSON lines)
 //	GET    /stats                                             cache + store + in-flight stats
-//	GET    /healthz                                           liveness probe
+//	GET    /healthz                                           liveness probe (+ uptime, build info)
+//	GET    /metrics                                           Prometheus text-format metrics
+//	GET    /debug/traces                                      recent request span trees (JSON)
+//
+// Observability: every request carries an X-Request-Id (minted here or
+// adopted from the router), ?trace=1 on /query returns the request's
+// span tree inline, -slow-query logs the span tree of slow requests,
+// -log-level tunes the structured (slog) log, and -debug-addr serves
+// net/http/pprof on a side address.
 //
 // Documents are spread over -shards independently locked store shards
 // (FNV routing) with per-shard byte accounting against -maxbytes and
@@ -33,8 +41,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"runtime"
 	"strings"
@@ -42,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -77,8 +87,19 @@ func main() {
 	maxBytes := flag.Int64("maxbytes", 0, "document store byte budget, divided evenly among shards and enforced per shard (0 = unlimited)")
 	evict := flag.String("evict", "lru", "store policy when the byte budget is exhausted: lru|reject")
 	maxIdle := flag.Duration("maxidle", 0, "evict documents not queried for this long (0 = never)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	slowQuery := flag.Duration("slow-query", 0, "log the full span tree of requests at least this slow (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Var(&docs, "doc", "document to serve, as name=path (repeatable)")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	slog.SetDefault(logger)
 
 	strat, ok := core.StrategyByName(*strategy)
 	if !ok {
@@ -106,6 +127,8 @@ func main() {
 		Policy:     policy,
 	})
 	srv.SetMaxBody(*maxBody)
+	srv.SetLogger(logger)
+	srv.SetSlowQuery(*slowQuery)
 	for _, spec := range docs {
 		name, path, err := parseDocFlag(spec)
 		if err != nil {
@@ -122,7 +145,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("loaded %s from %s (%d nodes)", name, path, n)
+		logger.Info("loaded document", "name", name, "path", path, "nodes", n)
 	}
 
 	if *maxIdle > 0 {
@@ -135,14 +158,24 @@ func main() {
 		go func() {
 			for range time.Tick(interval) {
 				if evicted := srv.EvictIdle(*maxIdle); len(evicted) > 0 {
-					log.Printf("evicted %d idle document(s): %s", len(evicted), strings.Join(evicted, ", "))
+					logger.Info("evicted idle documents", "count", len(evicted), "names", strings.Join(evicted, ", "))
 				}
 			}
 		}()
 	}
 
-	log.Printf("xpathserve listening on %s (strategy=%s cache=%d shards=%d docs=%v)",
-		*addr, strat, *cacheSize, *shards, srv.DocNames())
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
+
+	logger.Info("xpathserve listening",
+		"addr", *addr, "strategy", strat.String(), "cache", *cacheSize,
+		"shards", *shards, "docs", fmt.Sprint(srv.DocNames()))
 	// Header/idle timeouts bound connection abuse; per-request bodies
 	// are capped by the handler's MaxBytesReader. No WriteTimeout:
 	// large batches on big documents legitimately take a while, and
@@ -154,7 +187,8 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	if err := hs.ListenAndServe(); err != nil {
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
 }
 

@@ -32,9 +32,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// propagateRequestID forwards the context's request ID to the peer via
+// the X-Request-Id header, so backend logs, batch lines and traces
+// carry the same ID the router minted.
+func propagateRequestID(ctx context.Context, req *http.Request) {
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.HeaderRequestID, id)
+	}
+}
 
 // ErrUnavailable is returned when a peer cannot be reached at all:
 // connection refused, DNS failure, timeout before a response. It is
@@ -188,6 +198,7 @@ func (n *Node) do(ctx context.Context, method, path string, body, out any) error
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	propagateRequestID(ctx, req)
 	resp, err := n.unary.Do(req)
 	if err != nil {
 		// Only the caller's own context keeps its identity here: on
@@ -317,17 +328,24 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 // both). A non-nil error means the peer was not reached; application-
 // level failures (unknown document, bad query) come back as a status
 // plus the peer's response body, exactly as a direct client would see
-// them.
-func (n *Node) Query(ctx context.Context, doc, query string) (int, map[string]any, error) {
+// them. With trace set the peer evaluates under ?trace=1 and its
+// response carries the backend's span tree for the router to splice
+// into its own.
+func (n *Node) Query(ctx context.Context, doc, query string, trace bool) (int, map[string]any, error) {
 	buf, err := json.Marshal(serve.QueryRequest{Doc: doc, Query: query})
 	if err != nil {
 		return 0, nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/query", bytes.NewReader(buf))
+	path := n.base + "/query"
+	if trace {
+		path += "?trace=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, path, bytes.NewReader(buf))
 	if err != nil {
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	propagateRequestID(ctx, req)
 	resp, err := n.unary.Do(req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -381,6 +399,7 @@ func (n *Node) StreamJobs(ctx context.Context, jobs []serve.BatchJob, emit func(
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	propagateRequestID(ctx, req)
 	resp, err := n.stream.Do(req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {

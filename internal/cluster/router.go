@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -74,6 +76,13 @@ type Options struct {
 	// -max-body: the router must not reject documents its nodes would
 	// accept.
 	MaxBody int64
+	// Logger is the structured logger routed requests report to (nil:
+	// slog.Default()). Every line carries the request_id the backends
+	// also log, so one grep follows a request across tiers.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs the full span tree of any traced
+	// request that takes at least this long — the -slow-query flag.
+	SlowQuery time.Duration
 }
 
 // Router fronts a placement Ring of backend nodes: documents are
@@ -99,6 +108,10 @@ type Router struct {
 	opts Options
 
 	cache *answerCache // nil when disabled
+
+	reg     *obs.Registry
+	metrics *routerMetrics
+	traces  *obs.TraceRing
 
 	requests    atomic.Uint64 // client requests routed
 	retried     atomic.Uint64 // replica retries after an unreachable peer
@@ -160,6 +173,7 @@ func New(peers []*Node, opts Options) (*Router, error) {
 	if opts.AnswerCacheSize >= 0 {
 		r.cache = newAnswerCache(opts.AnswerCacheSize)
 	}
+	r.initObs()
 	return r, nil
 }
 
@@ -290,13 +304,15 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/stats", r.handleStats)
 	mux.HandleFunc("/health", r.handleHealth)
 	mux.HandleFunc("/healthz", r.handleHealth)
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+	mux.Handle("/metrics", r.reg.Handler())
+	mux.Handle("/debug/traces", r.traces.Handler())
+	return r.instrument(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Body != nil {
 			req.Body = http.MaxBytesReader(w, req.Body, r.opts.MaxBody)
 		}
 		r.requests.Add(1)
 		mux.ServeHTTP(w, req)
-	})
+	}))
 }
 
 // handleDocuments routes document registration (with replica
@@ -661,14 +677,23 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		serve.HTTPError(w, http.StatusBadRequest, "both doc and query are required")
 		return
 	}
-	if r.cache != nil {
-		if cached, ok := r.cache.get(body.Doc, body.Query); ok {
+	// ?trace=1 bypasses the answer cache entirely: a cached body cannot
+	// carry this request's span tree, and a traced answer must not fill
+	// the cache with a trace-bearing body other clients would replay.
+	if r.cache != nil && !obs.TraceRequested(req) {
+		_, cs := obs.StartSpan(req.Context(), "cache_lookup")
+		cached, ok := r.cache.get(body.Doc, body.Query)
+		if ok {
+			cs.SetAttr("outcome", "hit")
+			cs.End()
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Router-Cache", "hit")
 			w.WriteHeader(http.StatusOK)
 			w.Write(cached)
 			return
 		}
+		cs.SetAttr("outcome", "miss")
+		cs.End()
 	}
 	notFound, ok := r.forwardQuery(w, req, body, r.ring, false)
 	if ok {
@@ -696,12 +721,24 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request, body serve.QueryRequest, ring *Ring, drainRing bool) (map[string]any, bool) {
 	var lastErr error
 	var notFound map[string]any
+	traceOn := obs.TraceRequested(req)
 	for i, n := range r.slotCandidates(ring, ring.OwnerIndex(body.Doc)) {
 		if i > 0 {
 			r.retried.Add(1)
 		}
-		status, resp, err := n.Query(req.Context(), body.Doc, body.Query)
+		// The forward span wraps the whole backend round trip; when the
+		// client asked for a trace, the backend evaluates with ?trace=1
+		// too and its span tree is spliced in as the forward's remote —
+		// one report shows both tiers under one request ID.
+		fctx, fspan := obs.StartSpan(req.Context(), "forward")
+		fspan.SetAttr("node", n.Name())
+		status, resp, err := n.Query(fctx, body.Doc, body.Query, traceOn)
+		fspan.End()
 		if err == nil {
+			if bt, ok := resp["trace"]; ok && traceOn {
+				delete(resp, "trace")
+				fspan.AttachRemote(bt)
+			}
 			resp["node"] = n.Name()
 			if status == http.StatusNotFound {
 				// Read fallback: the doc may live on a replica it
@@ -711,9 +748,14 @@ func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request, body ser
 				}
 				continue
 			}
+			if traceOn {
+				// Reported before the response is written, so the span
+				// durations in it sum to within the reported total.
+				resp["trace"] = obs.TraceFrom(req.Context()).Report()
+			}
 			if drainRing {
 				resp["drained"] = true
-			} else if status == http.StatusOK && r.cache != nil {
+			} else if status == http.StatusOK && r.cache != nil && !traceOn {
 				if ver := respVersion(resp); ver > 0 {
 					// Marshal once: the same rendered bytes fill the
 					// cache and the wire (this matches WriteJSON's
@@ -805,8 +847,15 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	enc := json.NewEncoder(w)
 	ctx := req.Context()
 
+	reqID := obs.RequestID(ctx)
 	var mu sync.Mutex // serializes enc writes across backend streams
 	writeLine := func(line map[string]any) {
+		// Backend lines already carry the propagated ID; the router adds
+		// it to the lines it synthesizes itself (stream-failure errors),
+		// so every merged line is correlatable.
+		if _, ok := line["request_id"]; !ok && reqID != "" {
+			line["request_id"] = reqID
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if ctx.Err() != nil {
@@ -1038,10 +1087,12 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	out := map[string]any{
-		"ok":      healthy > 0,
-		"healthy": healthy,
-		"peers":   peers,
-		"ring":    r.ring.Describe(),
+		"ok":        healthy > 0,
+		"healthy":   healthy,
+		"peers":     peers,
+		"ring":      r.ring.Describe(),
+		"uptime_ms": obs.UptimeMillis(),
+		"build":     obs.Build(),
 	}
 	if r.old != nil {
 		out["drain_ring"] = r.old.Describe()

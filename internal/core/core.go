@@ -80,6 +80,11 @@ const (
 	XPatterns
 )
 
+// strategyNames are the flag names and, through Strategy.String, the
+// Prometheus label values of the engine's per-strategy latency
+// histograms (xpath_query_seconds{strategy=...}). Keep them lowercase
+// snake_case: dashboards and the future adaptive planner key on these
+// exact strings.
 var strategyNames = map[Strategy]string{
 	Auto: "auto", Naive: "naive", DataPool: "datapool",
 	BottomUp: "bottomup", TopDown: "topdown", MinContext: "mincontext",

@@ -19,11 +19,13 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // DefaultCacheSize is the compiled-query cache capacity used when
@@ -63,6 +65,12 @@ type Options struct {
 	// retry is counted in Stats.Fallbacks. Off by default so callers
 	// that configured an explicit resource limit still see it fire.
 	Fallback bool
+
+	// Metrics is the observability registry the engine records into
+	// (nil: the engine creates its own). The serving layer passes the
+	// registry on so engine, HTTP and store instruments share one
+	// /metrics exposition.
+	Metrics *obs.Registry
 }
 
 // Engine caches compiled queries and spawns Sessions over documents.
@@ -70,6 +78,8 @@ type Options struct {
 type Engine struct {
 	opts      Options
 	cache     *queryCache
+	reg       *obs.Registry
+	metrics   *engineMetrics
 	inFlight  atomic.Int64
 	fallbacks atomic.Uint64
 }
@@ -88,8 +98,18 @@ func New(opts Options) *Engine {
 	case opts.Parallelism < 0:
 		opts.Parallelism = 1
 	}
-	return &Engine{opts: opts, cache: newQueryCache(opts.CacheSize)}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	e := &Engine{opts: opts, cache: newQueryCache(opts.CacheSize), reg: opts.Metrics}
+	e.metrics = newEngineMetrics(e.reg, e)
+	return e
 }
+
+// Metrics returns the registry the engine records into, so upper
+// layers (serve, cmd wiring) can add their own instruments to the same
+// /metrics exposition.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Parallelism returns the per-query worker budget the engine hands to
 // its sessions (1 = sequential).
@@ -102,16 +122,34 @@ func (e *Engine) Strategy() core.Strategy { return e.opts.Strategy }
 // so each distinct query string is parsed and classified once under
 // sustained traffic. Compilation errors are not cached.
 func (e *Engine) Compile(src string) (*core.Query, error) {
+	return e.CompileContext(context.Background(), src)
+}
+
+// CompileContext is Compile with trace plumbing: when ctx carries an
+// obs trace, the cache probe and (on a miss) the compilation each get
+// a span, with the cache outcome recorded as an attribute.
+func (e *Engine) CompileContext(ctx context.Context, src string) (*core.Query, error) {
 	k := cacheKey{src: src, strategy: e.opts.Strategy}
+	_, lookup := obs.StartSpan(ctx, "cache_lookup")
 	if q, ok := e.cache.get(k); ok {
+		lookup.SetAttr("outcome", "hit")
+		lookup.End()
 		return q, nil
 	}
+	lookup.SetAttr("outcome", "miss")
+	lookup.End()
+	_, span := obs.StartSpan(ctx, "compile")
 	start := time.Now()
 	q, err := core.Compile(src)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
-	return e.cache.add(k, q, uint64(time.Since(start))), nil
+	q = e.cache.add(k, q, uint64(time.Since(start)))
+	span.SetAttr("fragment", fragLabel(q.Fragment()))
+	span.End()
+	e.metrics.stage.With("compile").ObserveSince(start)
+	return q, nil
 }
 
 // Stats is a point-in-time reading of the engine's observable state.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bottomup"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Session binds a parsed document to an Engine. All evaluations run
@@ -87,7 +88,7 @@ func (s *Session) Do(src string) Result {
 // error (in Result.Err) once ctx is done.
 func (s *Session) DoContext(ctx context.Context, src string) Result {
 	res := Result{Query: src}
-	q, err := s.eng.Compile(src)
+	q, err := s.eng.CompileContext(ctx, src)
 	if err != nil {
 		res.Err = err
 		return res
@@ -129,14 +130,31 @@ func (s *Session) evaluate(ctx context.Context, q *core.Query) (core.Value, bool
 	s.lastUsed.Store(time.Now().UnixNano())
 	s.eng.inFlight.Add(1)
 	defer s.eng.inFlight.Add(-1)
+	m := s.eng.metrics
+	m.queries.Inc()
+	frag := fragLabel(q.Fragment())
+	strat := s.en.StrategyFor(q)
+	ectx, span := obs.StartSpan(ctx, "evaluate")
+	span.SetAttr("fragment", frag)
+	span.SetAttr("strategy", strat.String())
+	start := time.Now()
 	root := core.Context{Node: s.doc.RootID(), Pos: 1, Size: 1}
-	v, err := s.en.EvaluateContext(ctx, q, root)
+	v, err := s.en.EvaluateContext(ectx, q, root)
+	fell := false
 	if err != nil && s.fb != nil && errors.Is(err, bottomup.ErrTableLimit) {
 		s.eng.fallbacks.Add(1)
-		v, err = s.fb.EvaluateContext(ctx, q, root)
-		return v, true, err
+		span.SetAttr("fallback", "true")
+		strat = core.MinContext
+		v, err = s.fb.EvaluateContext(ectx, q, root)
+		fell = true
 	}
-	return v, false, err
+	span.End()
+	m.stage.With("evaluate").ObserveSince(start)
+	m.query.With(frag, strat.String()).ObserveSince(start)
+	if err != nil {
+		m.errors.Inc()
+	}
+	return v, fell, err
 }
 
 // Batch evaluates queries concurrently over a worker pool bounded by

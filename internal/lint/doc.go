@@ -36,6 +36,13 @@
 //     context is in scope — in the cluster package, anywhere outside
 //     main.
 //
+//   - metricname: every obs.Registry registration (Counter, Gauge,
+//     Histogram, the Func and Vec variants) names its metric with a
+//     compile-time constant snake_case string that is unique within
+//     the package, and Vec label names are constant snake_case
+//     strings — a duplicate name would silently share one instrument
+//     under the registry's get-or-create semantics.
+//
 // A finding is suppressed by a directive comment of the form
 //
 //	//lint:ignore <analyzer> <reason>

@@ -1,0 +1,130 @@
+// Package metricname enforces the metric-naming invariants of the
+// internal/obs registry at every registration site. The registry
+// validates names at runtime (and panics), but a bad name in a
+// rarely-exercised branch only explodes in production scrapes; the
+// analyzer moves the check to review time and adds the one rule the
+// runtime cannot see statically: two registration sites in the same
+// package using the same name literal silently share one instrument
+// under get-or-create semantics, which is almost always an accident.
+//
+// Rules, applied to every call of a Registry registration method
+// (Counter, CounterFunc, Gauge, GaugeFunc, Histogram, CounterVec,
+// HistogramVec):
+//
+//   - the metric name must be a compile-time constant string, so the
+//     full name set is auditable by grep and by this analyzer;
+//   - the name must be snake_case (^[a-z][a-z0-9_]*$), matching the
+//     registry's runtime validation and Prometheus convention;
+//   - the name must be unique among the package's registration
+//     literals (the duplicate site is flagged);
+//   - label names of the Vec variants must be constant snake_case
+//     strings too — they become Prometheus label keys.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags obs.Registry registrations whose metric or label
+// names are dynamic, non-snake_case, or duplicated within a package.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "flags obs.Registry registration calls whose metric name is not " +
+		"a constant snake_case string literal unique within the package, " +
+		"and Vec label names that are not constant snake_case strings",
+	Run: run,
+}
+
+// snakeRe mirrors the registry's runtime name validation.
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registerMethods maps each Registry registration method to the
+// argument index where its variadic label names start (-1 = no
+// labels).
+var registerMethods = map[string]int{
+	"Counter":      -1,
+	"CounterFunc":  -1,
+	"Gauge":        -1,
+	"GaugeFunc":    -1,
+	"Histogram":    -1,
+	"CounterVec":   2, // (name, help, labels...)
+	"HistogramVec": 3, // (name, help, buckets, labels...)
+}
+
+func run(pass *analysis.Pass) error {
+	// First registration position per name, across the whole package,
+	// so a duplicate is reported wherever the second site lives.
+	seen := map[string]token.Pos{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeOf(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			labelStart, ok := registerMethods[fn.Name()]
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !lintutil.Is(sig.Recv().Type(), "obs", "Registry") {
+				return true
+			}
+			return checkCall(pass, call, fn.Name(), labelStart, seen)
+		})
+	}
+	return nil
+}
+
+// checkCall applies the naming rules to one registration call.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, method string, labelStart int, seen map[string]token.Pos) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	name, ok := constString(pass, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "metric name passed to Registry.%s is not a compile-time constant string; use a literal so the metric namespace stays greppable", method)
+		return true
+	}
+	if !snakeRe.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q is not snake_case (want ^[a-z][a-z0-9_]*$); the registry will panic on it at runtime", name)
+	} else if first, dup := seen[name]; dup {
+		pass.Reportf(call.Args[0].Pos(), "duplicate metric name %q (first registered at %s); get-or-create would silently share one instrument", name, pass.Fset.Position(first))
+	} else {
+		seen[name] = call.Args[0].Pos()
+	}
+	if labelStart < 0 || call.Ellipsis != token.NoPos {
+		return true // no labels, or a spread slice we cannot see into
+	}
+	for _, arg := range call.Args[labelStart:] {
+		label, ok := constString(pass, arg)
+		if !ok {
+			pass.Reportf(arg.Pos(), "label name passed to Registry.%s is not a compile-time constant string", method)
+			continue
+		}
+		if !snakeRe.MatchString(label) {
+			pass.Reportf(arg.Pos(), "label name %q is not snake_case (want ^[a-z][a-z0-9_]*$)", label)
+		}
+	}
+	return true
+}
+
+// constString resolves e to its compile-time string value, through
+// named constants and constant concatenation.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

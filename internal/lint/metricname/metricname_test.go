@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/metricname"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, metricname.Analyzer, "metricname")
+}

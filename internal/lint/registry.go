@@ -5,6 +5,7 @@ import (
 	"repro/internal/lint/cancelcheck"
 	"repro/internal/lint/ctxhttp"
 	"repro/internal/lint/lockshard"
+	"repro/internal/lint/metricname"
 	"repro/internal/lint/sharedset"
 	"repro/internal/lint/wiretag"
 )
@@ -17,5 +18,6 @@ func All() []*analysis.Analyzer {
 		sharedset.Analyzer,
 		wiretag.Analyzer,
 		ctxhttp.Analyzer,
+		metricname.Analyzer,
 	}
 }

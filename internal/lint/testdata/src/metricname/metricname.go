@@ -1,0 +1,55 @@
+// Fixture for the metricname analyzer: registration calls on the real
+// repro/internal/obs.Registry, so the receiver-type matching is the
+// same one the production run does.
+package metricname
+
+import "repro/internal/obs"
+
+const help = "fixture help text"
+
+// namePrefix feeds the constant-concatenation case: still a
+// compile-time constant, so still checkable.
+const namePrefix = "fixture_"
+
+func good(reg *obs.Registry) {
+	reg.Counter("fixture_queries_total", help)
+	reg.Gauge("fixture_inflight", help)
+	reg.Histogram("fixture_query_seconds", help, nil)
+	reg.CounterVec("fixture_http_requests_total", help, "path", "method")
+	reg.HistogramVec("fixture_stage_seconds", help, nil, "stage")
+	reg.CounterFunc(namePrefix+"hits_total", help, func() float64 { return 0 })
+	reg.GaugeFunc("fixture_peers", help, func() float64 { return 0 })
+}
+
+func badCase(reg *obs.Registry) {
+	reg.Counter("FixtureQueriesTotal", help) // want `metric name "FixtureQueriesTotal" is not snake_case`
+}
+
+func badDynamic(reg *obs.Registry, name string) {
+	reg.Counter(name, help) // want `metric name passed to Registry.Counter is not a compile-time constant string`
+}
+
+func badDuplicate(reg *obs.Registry) {
+	reg.Gauge("fixture_inflight", help) // want `duplicate metric name "fixture_inflight"`
+}
+
+func badLabelCase(reg *obs.Registry) {
+	reg.CounterVec("fixture_errors_total", help, "Path") // want `label name "Path" is not snake_case`
+}
+
+func badLabelDynamic(reg *obs.Registry, label string) {
+	reg.HistogramVec("fixture_wait_seconds", help, nil, label) // want `label name passed to Registry.HistogramVec is not a compile-time constant string`
+}
+
+// A spread label slice is invisible to the analyzer: the metric name
+// is still checked, the labels are not.
+func spreadLabels(reg *obs.Registry, labels []string) {
+	reg.CounterVec("fixture_spread_total", help, labels...)
+}
+
+// A suppressed duplicate: the shared-instrument pattern is sometimes
+// deliberate (two handlers feeding one counter family).
+func sharedOnPurpose(reg *obs.Registry) {
+	//lint:ignore metricname both handlers feed the one queries family
+	reg.Counter("fixture_queries_total", help)
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// processStart anchors UptimeMillis; package init runs once per
+// process, early enough to count as "start".
+var processStart = time.Now()
+
+// UptimeMillis returns milliseconds since the process started.
+func UptimeMillis() int64 {
+	return time.Since(processStart).Milliseconds()
+}
+
+// BuildInfo is the build identity /healthz reports: enough to tell
+// which binary answered without shelling into the host.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"module_version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the process's build info, read once from
+// runtime/debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// writeJSONIndent renders v as indented JSON; obs keeps its own copy
+// so the package stays dependency-free within the repo.
+func writeJSONIndent(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// scrape fetches url's /metrics and indexes the samples by
+// name + label-set, verifying the body parses as Prometheus text.
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q, want the Prometheus text exposition type", ct)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text: %v", err)
+	}
+	out := map[string]float64{}
+	for _, s := range samples {
+		key := s.Name
+		if len(s.Labels) > 0 {
+			pairs := make([]string, 0, len(s.Labels))
+			for k, v := range s.Labels {
+				pairs = append(pairs, k+"="+v)
+			}
+			sort.Strings(pairs)
+			key += "{" + strings.Join(pairs, ",") + "}"
+		}
+		out[key] = s.Value
+	}
+	return out
+}
+
+// TestMetricsEndpoint asserts the full pipeline: a served query shows
+// up in the engine counters, the per-path HTTP counters, and the
+// latency histograms, all through a scrape that must parse as
+// Prometheus text exposition format.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	if resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d, body %v", resp.StatusCode, out)
+	}
+	m := scrape(t, ts.URL)
+	for key, min := range map[string]float64{
+		"xpath_queries_total":                      1,
+		"xpath_http_requests_total{path=/query}":   1,
+		"xpath_query_seconds_count{":               0, // presence asserted below
+		"xpath_documents":                          1,
+		"xpath_compile_cache_misses_total":         1,
+		"xpath_stage_seconds_count{stage=compile}": 1,
+	} {
+		if strings.HasSuffix(key, "{") {
+			found := false
+			for k := range m {
+				if strings.HasPrefix(k, key) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no sample with prefix %q in /metrics", key)
+			}
+			continue
+		}
+		if m[key] < min {
+			t.Errorf("%s = %v, want >= %v (scrape: %d samples)", key, m[key], min, len(m))
+		}
+	}
+	if m["xpath_stage_seconds_count{stage=evaluate}"] < 1 {
+		t.Errorf("evaluate stage histogram not observed: %v", m["xpath_stage_seconds_count{stage=evaluate}"])
+	}
+	if resp, err := http.Post(ts.URL+"/metrics", "text/plain", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /metrics = %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestIDRoundTrip: a supplied X-Request-Id is echoed on the
+// response and stamped on every NDJSON batch line; an absent one is
+// minted.
+func TestRequestIDRoundTrip(t *testing.T) {
+	_, ts := testServer(t)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/query?doc=catalog&q=count(//product)", nil)
+	req.Header.Set(obs.HeaderRequestID, "test-id-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.HeaderRequestID); got != "test-id-123" {
+		t.Fatalf("echoed request id = %q, want test-id-123", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/query?doc=catalog&q=count(//product)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.HeaderRequestID); got == "" {
+		t.Fatal("no X-Request-Id minted on a bare request")
+	}
+
+	body, _ := json.Marshal(BatchRequest{Doc: "catalog", Queries: []string{"count(//product)", "//product/child::name"}})
+	breq, _ := http.NewRequest("POST", ts.URL+"/batch", bytes.NewReader(body))
+	breq.Header.Set(obs.HeaderRequestID, "batch-id-9")
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	sc := bufio.NewScanner(bresp.Body)
+	lines := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad batch line %q: %v", sc.Text(), err)
+		}
+		if line.RequestID != "batch-id-9" {
+			t.Fatalf("batch line request_id = %q, want batch-id-9", line.RequestID)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("batch lines = %d, want 2", lines)
+	}
+}
+
+// spanNames flattens a span tree into its set of names.
+func spanNames(spans []obs.SpanJSON, into map[string]obs.SpanJSON) {
+	for _, s := range spans {
+		into[s.Name] = s
+		spanNames(s.Children, into)
+	}
+}
+
+// TestQueryTrace: ?trace=1 returns the span tree inline — every
+// serving stage is named, the stage durations nest within the total,
+// and the tree carries the request's ID. Without the flag no trace is
+// attached.
+func TestQueryTrace(t *testing.T) {
+	_, ts := testServer(t)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/query?doc=catalog&q=count(//product)&trace=1", nil)
+	req.Header.Set(obs.HeaderRequestID, "trace-me-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	if out.Trace.RequestID != "trace-me-7" {
+		t.Fatalf("trace request_id = %q, want trace-me-7", out.Trace.RequestID)
+	}
+	byName := map[string]obs.SpanJSON{}
+	spanNames(out.Trace.Spans, byName)
+	for _, want := range []string{"route", "cache_lookup", "compile", "evaluate", "serialize"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("span %q missing from trace (have %v)", want, keys(byName))
+		}
+	}
+	route := byName["route"]
+	var childSum int64
+	for _, c := range route.Children {
+		childSum += c.DurNs
+	}
+	if childSum > route.DurNs {
+		t.Errorf("children of route sum to %dns > route's %dns", childSum, route.DurNs)
+	}
+	if route.DurNs > out.Trace.TotalNs {
+		t.Errorf("route span %dns exceeds trace total %dns", route.DurNs, out.Trace.TotalNs)
+	}
+
+	if _, plain := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); plain["trace"] != nil {
+		t.Fatal("trace attached without ?trace=1")
+	}
+}
+
+func keys(m map[string]obs.SpanJSON) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// syncBuffer is a mutex-guarded log sink: the middleware logs after
+// the response bytes are already with the client, so the test must not
+// race the handler goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitForLog polls the sink until the substring shows up (the request
+// log line lands just after the response is released to the client).
+func waitForLog(t *testing.T, b *syncBuffer, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := b.String(); strings.Contains(s, substr) {
+			return s
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("log never contained %q; log so far:\n%s", substr, b.String())
+	return ""
+}
+
+// TestSlowQueryLog: above the threshold the request logs a "slow
+// query" line carrying the span tree; below it only the ordinary
+// request line appears, and the slow-query counter stays at zero.
+func TestSlowQueryLog(t *testing.T) {
+	newLogged := func(slow time.Duration) (*syncBuffer, *httptest.Server) {
+		srv := New(engine.New(engine.Options{CacheSize: 8, Workers: 2}), store.Config{})
+		if _, _, err := srv.AddDocument("catalog", workload.Catalog(6).XMLString()); err != nil {
+			t.Fatal(err)
+		}
+		buf := &syncBuffer{}
+		srv.SetLogger(slog.New(slog.NewTextHandler(buf, nil)))
+		srv.SetSlowQuery(slow)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return buf, ts
+	}
+
+	buf, ts := newLogged(time.Nanosecond) // everything is slow
+	if resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d, body %v", resp.StatusCode, out)
+	}
+	logged := waitForLog(t, buf, "slow query")
+	for _, want := range []string{"request_id=", "trace=", "evaluate"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("slow-query log missing %q:\n%s", want, logged)
+		}
+	}
+	if m := scrape(t, ts.URL); m["xpath_slow_queries_total"] < 1 {
+		t.Errorf("xpath_slow_queries_total = %v, want >= 1", m["xpath_slow_queries_total"])
+	}
+
+	buf, ts = newLogged(time.Hour) // nothing is slow
+	if resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d, body %v", resp.StatusCode, out)
+	}
+	logged = waitForLog(t, buf, "msg=request")
+	if strings.Contains(logged, "slow query") {
+		t.Errorf("slow-query log fired below threshold:\n%s", logged)
+	}
+	if m := scrape(t, ts.URL); m["xpath_slow_queries_total"] != 0 {
+		t.Errorf("xpath_slow_queries_total = %v, want 0", m["xpath_slow_queries_total"])
+	}
+}
+
+// TestHealthzBuildInfo: the liveness probe carries uptime and build
+// info so a fleet's versions are auditable from the probe alone.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, ts := testServer(t)
+	resp, out := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if _, ok := out["uptime_ms"].(float64); !ok {
+		t.Fatalf("healthz uptime_ms missing or not numeric: %v", out["uptime_ms"])
+	}
+	build, ok := out["build"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz build info missing: %v", out["build"])
+	}
+	if build["go_version"] == "" {
+		t.Fatalf("build info has no go version: %v", build)
+	}
+}
+
+// TestDebugTracesRing: traced requests land in /debug/traces, newest
+// first, and probe endpoints stay out of the ring.
+func TestDebugTracesRing(t *testing.T) {
+	_, ts := testServer(t)
+	for i := 0; i < 3; i++ {
+		resp, _ := getJSON(t, fmt.Sprintf("%s/query?doc=catalog&q=count(//product[%d])", ts.URL, i+1))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d failed", i)
+		}
+	}
+	getJSON(t, ts.URL+"/healthz") // probe: must not enter the ring
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces []obs.TraceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("trace ring holds %d traces, want 3 (probes excluded)", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.RequestID == "" {
+			t.Fatal("ringed trace has no request id")
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/semantics"
 	"repro/internal/store"
 	"repro/internal/xpath"
@@ -58,6 +60,17 @@ type Server struct {
 	eng     *engine.Engine
 	maxBody int64
 	docs    store.Store[*engine.Session]
+
+	// Observability: the registry is the engine's (one exposition for
+	// all tiers), the ring holds recent traces for /debug/traces, and
+	// slow marks the slow-query log threshold (0 = off). logger nil
+	// means slog.Default(), resolved per call so tests can swap the
+	// default.
+	reg     *obs.Registry
+	metrics *serveMetrics
+	traces  *obs.TraceRing
+	logger  *slog.Logger
+	slow    time.Duration
 }
 
 // New creates a Server over an engine with a store built from cfg
@@ -66,11 +79,13 @@ func New(eng *engine.Engine, cfg store.Config) *Server {
 	if cfg.MaxEntries == 0 {
 		cfg.MaxEntries = DefaultMaxDocuments
 	}
-	return &Server{
+	s := &Server{
 		eng:     eng,
 		maxBody: DefaultMaxBodyBytes,
 		docs:    store.NewSharded[*engine.Session](cfg),
 	}
+	s.initObs()
+	return s
 }
 
 // SetMaxBody overrides the request body size limit (DefaultMaxBodyBytes).
@@ -106,11 +121,26 @@ type versionMirror interface {
 // counter (AddDocument is this case). A ver at or below the resident
 // document's version is a stale mirror write and is skipped.
 func (s *Server) AddDocumentAt(name, xml string, ver uint64) (int, uint64, error) {
+	return s.addDocument(context.Background(), name, xml, ver)
+}
+
+// addDocument is AddDocumentAt with trace plumbing: registration's two
+// expensive stages — parsing and the registration-time index build —
+// each get a span and a stage-latency observation.
+func (s *Server) addDocument(ctx context.Context, name, xml string, ver uint64) (int, uint64, error) {
+	_, ps := obs.StartSpan(ctx, "parse")
+	pstart := time.Now()
 	d, err := core.ParseString(xml)
+	ps.End()
 	if err != nil {
 		return 0, 0, err
 	}
+	s.metrics.stage.With("parse").ObserveSince(pstart)
+	_, ws := obs.StartSpan(ctx, "index_warm")
+	wstart := time.Now()
 	sess := s.eng.NewSession(d)
+	ws.End()
+	s.metrics.stage.With("index_warm").ObserveSince(wstart)
 	var v uint64
 	if vm, ok := s.docs.(versionMirror); ok && ver > 0 {
 		v, err = vm.PutAt(name, sess, int64(len(xml)), ver)
@@ -186,12 +216,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/traces", s.traces.Handler())
+	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
 		mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // DocumentRequest registers a document: the body of POST /documents.
@@ -271,6 +303,9 @@ type QueryResponse struct {
 	Fallback bool       `json:"fallback,omitempty"`
 	Value    *ValueJSON `json:"value,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Trace is the request's span tree, present only when the client
+	// asked for it with ?trace=1 (the EXPLAIN ANALYZE of this protocol).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // BatchLine is one streamed /batch result: the job's input index plus
@@ -284,6 +319,10 @@ type BatchLine struct {
 	Index   int    `json:"index"`
 	Doc     string `json:"doc,omitempty"`
 	Missing bool   `json:"missing,omitempty"`
+	// RequestID tags every line of a stream with the request's ID so a
+	// scattered batch's lines can be correlated with router and backend
+	// logs after the merge.
+	RequestID string `json:"request_id,omitempty"`
 	QueryResponse
 }
 
@@ -448,7 +487,7 @@ func (s *Server) handleDocumentPost(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "both name and xml are required")
 		return
 	}
-	n, ver, err := s.AddDocumentAt(req.Name, req.XML, req.Version)
+	n, ver, err := s.addDocument(r.Context(), req.Name, req.XML, req.Version)
 	switch {
 	case errors.Is(err, store.ErrFull):
 		HTTPError(w, http.StatusInsufficientStorage, "document store full: %v; delete or replace a document, or raise -max-docs/-maxbytes", err)
@@ -495,7 +534,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusNotFound, "unknown document %q", req.Doc)
 		return
 	}
-	resp := s.render(sess, ver, sess.DoContext(r.Context(), req.Query))
+	res := sess.DoContext(r.Context(), req.Query)
+	_, ser := obs.StartSpan(r.Context(), "serialize")
+	resp := s.render(sess, ver, res)
+	ser.End()
+	if obs.TraceRequested(r) {
+		// Reported before the response is written: open spans (the root
+		// route span) close "as of now", so the stage durations in the
+		// report sum to within the reported total.
+		resp.Trace = obs.TraceFrom(r.Context()).Report()
+	}
 	status := http.StatusOK
 	if resp.Error != "" {
 		status = http.StatusUnprocessableEntity
@@ -558,8 +606,12 @@ func (s *Server) startBatchStream(w http.ResponseWriter, r *http.Request) (conte
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
+	id := obs.RequestID(ctx)
 	var mu sync.Mutex
 	return ctx, func(line BatchLine) {
+		if line.RequestID == "" {
+			line.RequestID = id
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if ctx.Err() != nil {
@@ -626,6 +678,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
 		"documents": s.docs.Stats().Entries,
+		"uptime_ms": obs.UptimeMillis(),
+		"build":     obs.Build(),
 	})
 }
 

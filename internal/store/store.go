@@ -92,6 +92,10 @@ type ShardStats struct {
 
 // Stats aggregates the store: totals plus the per-shard breakdown (the
 // routing quality is visible as the spread of Entries across Shards).
+// Beyond /stats, the serving layer reads Entries and Bytes at every
+// /metrics scrape (the xpath_documents and xpath_store_bytes gauges),
+// so implementations must keep Stats cheap — per-shard counters, no
+// full walks.
 type Stats struct {
 	Entries   int          `json:"entries"`
 	Bytes     int64        `json:"bytes"`

@@ -6,7 +6,10 @@
 # streamed /batch and checks the index/doc/node tags. It then kills
 # one backend mid-run and asserts the routed query is served from the
 # replica, and that repeated identical queries hit the router answer
-# cache (with a re-registration invalidating it). CI runs this after
+# cache (with a re-registration invalidating it). The observability
+# section scrapes /metrics on the router and the owning backend around
+# a traced query and asserts the per-path counters move and the same
+# X-Request-Id shows up in the backend's log. CI runs this after
 # the unit suites; it is also handy locally:
 #
 #   bash scripts/cluster_smoke.sh
@@ -23,8 +26,10 @@ trap cleanup EXIT
 go build -o "$bin/xpathserve" ./cmd/xpathserve
 go build -o "$bin/xpathrouter" ./cmd/xpathrouter
 
-"$bin/xpathserve" -addr 127.0.0.1:7101 &
-"$bin/xpathserve" -addr 127.0.0.1:7102 &
+# Backend logs are captured to files: the observability section greps
+# them for the routed request's X-Request-Id.
+"$bin/xpathserve" -addr 127.0.0.1:7101 2>"$bin/backend-7101.log" &
+"$bin/xpathserve" -addr 127.0.0.1:7102 2>"$bin/backend-7102.log" &
 backend2_pid=$!
 "$bin/xpathrouter" -addr 127.0.0.1:7100 \
   -peers http://127.0.0.1:7101,http://127.0.0.1:7102 \
@@ -95,6 +100,56 @@ lines=$(echo "$batch" | grep -c '"index":' || true)
 [ "$lines" -eq 14 ] || { echo "batch returned $lines lines, want 14:" >&2; echo "$batch" >&2; exit 1; }
 nodes=$(echo "$batch" | grep -o '"node":"127.0.0.1:[0-9]*"' | sort -u | wc -l)
 [ "$nodes" -eq 2 ] || { echo "batch lines from $nodes node(s), want 2:" >&2; echo "$batch" >&2; exit 1; }
+
+# --- Observability: metrics deltas and request-ID correlation -------
+# A Prometheus sample's value, by exact name{labels} prefix (0 when
+# the metric has not been registered or scraped into existence yet).
+mval() {
+  curl -fsS "http://127.0.0.1:$1/metrics" | grep -F "$2 " | awk '{print $2; exit}' || true
+}
+
+router_q_before=$(mval 7100 'router_http_requests_total{path="/query"}')
+b7101_q_before=$(mval 7101 'xpath_http_requests_total{path="/query"}')
+b7102_q_before=$(mval 7102 'xpath_http_requests_total{path="/query"}')
+
+# One traced routed query, response headers captured for the minted
+# X-Request-Id. ?trace=1 bypasses the answer cache, so the owning
+# backend provably serves it.
+out=$(curl -fsS -D "$bin/trace-headers" \
+  'http://127.0.0.1:7100/query?doc=doc-0&q=count(//b)&trace=1')
+echo "$out" | grep -q '"trace"' || { echo "?trace=1 returned no trace: $out" >&2; exit 1; }
+echo "$out" | grep -q '"name": *"forward"' || { echo "router trace has no forward span: $out" >&2; exit 1; }
+req_id=$(tr -d '\r' <"$bin/trace-headers" | awk 'tolower($1)=="x-request-id:" {print $2; exit}')
+[ -n "$req_id" ] || { echo "router minted no X-Request-Id" >&2; exit 1; }
+echo "$out" | grep -q "\"request_id\": *\"$req_id\"" \
+  || { echo "trace does not carry the response's request id $req_id: $out" >&2; exit 1; }
+
+# The owning backend is whichever node the response was tagged with.
+owner_port=$(echo "$out" | grep -o '"node": *"127.0.0.1:[0-9]*"' | grep -o '710[0-9]' | head -1)
+[ -n "$owner_port" ] || { echo "traced response has no node tag: $out" >&2; exit 1; }
+
+# Counter deltas: exactly one more routed /query on the router, at
+# least one more served /query on the owning backend.
+router_q_after=$(mval 7100 'router_http_requests_total{path="/query"}')
+owner_before=$b7101_q_before
+[ "$owner_port" = 7102 ] && owner_before=$b7102_q_before
+owner_after=$(mval "$owner_port" 'xpath_http_requests_total{path="/query"}')
+[ "$((${router_q_after:-0} - ${router_q_before:-0}))" -eq 1 ] \
+  || { echo "router /query counter delta != 1 ($router_q_before -> $router_q_after)" >&2; exit 1; }
+[ "$((${owner_after:-0} - ${owner_before:-0}))" -ge 1 ] \
+  || { echo "owning backend :$owner_port /query counter did not move ($owner_before -> $owner_after)" >&2; exit 1; }
+
+# The scrape itself must be well-formed Prometheus text: every
+# non-comment line is name{labels} value.
+curl -fsS http://127.0.0.1:7100/metrics \
+  | awk '!/^#/ && NF && $0 !~ /^[a-z][a-z0-9_]*({[^}]*})? [0-9eE+.-]+$/ {print; bad=1} END {exit bad}' \
+  || { echo "router /metrics has malformed sample lines" >&2; exit 1; }
+
+# One request ID correlates the tiers: the backend's slog line for the
+# forwarded query carries the ID the router minted.
+grep -q "request_id=$req_id" "$bin/backend-$owner_port.log" \
+  || { echo "request id $req_id absent from backend :$owner_port log" >&2; exit 1; }
+echo "observability: request $req_id traced through router and backend :$owner_port"
 
 # Kill one backend mid-run: every document must keep answering —
 # served from the replica on the survivor. The query strings are fresh
