@@ -54,18 +54,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -84,6 +89,15 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	slowQuery := flag.Duration("slow-query", 0, "log the full span tree of requests at least this slow (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry tokens earned per first attempt; retries beyond the accrued budget fail fast (0 = unlimited)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive per-peer failures that open its circuit breaker (0 = default, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the peer again (0 = default)")
+	repairInterval := flag.Duration("repair-interval", 30*time.Second, "anti-entropy repair round period (0 = off)")
+	peerInflight := flag.Int("peer-inflight", 0, "per-peer in-flight request bound; excess calls are shed with 503 (0 = unlimited)")
+	downAfter := flag.Int("down-after", 0, "consecutive probe failures before a peer is marked down (0 = default)")
+	faultSpec := flag.String("fault-spec", "", "inject faults into backend calls, e.g. 'refuse:peer=n2;p=0.5,latency:d=100ms' (empty = off)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for probabilistic fault injection (0 = nondeterministic)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	flag.Parse()
 
 	level, err := obs.ParseLogLevel(*logLevel)
@@ -108,16 +122,23 @@ func main() {
 		par = -1 // Options uses negative for "one at a time", 0 for GOMAXPROCS
 	}
 	opts := cluster.Options{
-		Retries:         *retries,
-		Replicas:        *replicas,
-		Generation:      *generation,
-		AnswerCacheSize: cacheSize,
-		Parallel:        par,
-		Timeout:         *timeout,
-		HealthInterval:  *healthEvery,
-		MaxBody:         *maxBody,
-		Logger:          logger,
-		SlowQuery:       *slowQuery,
+		Retries:          *retries,
+		Replicas:         *replicas,
+		Generation:       *generation,
+		AnswerCacheSize:  cacheSize,
+		Parallel:         par,
+		Timeout:          *timeout,
+		HealthInterval:   *healthEvery,
+		MaxBody:          *maxBody,
+		Logger:           logger,
+		SlowQuery:        *slowQuery,
+		RetryBudget:      *retryBudget,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		RepairInterval:   *repairInterval,
+		PeerInflight:     *peerInflight,
+		DownAfter:        *downAfter,
+		Seed:             *faultSeed,
 	}
 	if *drainPeers != "" {
 		opts.DrainPeers, err = cluster.ParsePeers(*drainPeers, *timeout)
@@ -125,6 +146,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpathrouter: -drain-peers: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	if *faultSpec != "" {
+		faults, err := resilience.ParseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathrouter: -fault-spec: %v\n", err)
+			os.Exit(2)
+		}
+		for _, n := range append(append([]*cluster.Node{}, nodes...), opts.DrainPeers...) {
+			n.WrapTransport(faults.Transport)
+		}
+		logger.Warn("fault injection active", "spec", *faultSpec, "seed", *faultSeed)
 	}
 	router, err := cluster.New(nodes, opts)
 	if err != nil {
@@ -157,9 +189,30 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
-		logger.Error("server failed", "err", err)
-		os.Exit(1)
+
+	// SIGTERM/SIGINT drain: flip /health and /healthz to 503 so
+	// upstream load balancers stop sending work, keep answering
+	// in-flight requests, then close the listener.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-sigCtx.Done():
+		logger.Info("draining", "timeout", *drainTimeout)
+		router.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Warn("drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained")
 	}
 }
 

@@ -39,19 +39,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -90,6 +95,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	slowQuery := flag.Duration("slow-query", 0, "log the full span tree of requests at least this slow (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	faultSpec := flag.String("fault-spec", "", "inject faults into matching requests, e.g. 'latency:path=/query;d=200ms,err:p=0.1;code=503' (empty = off)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for probabilistic fault injection (0 = nondeterministic)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	flag.Var(&docs, "doc", "document to serve, as name=path (repeatable)")
 	flag.Parse()
 
@@ -129,6 +137,15 @@ func main() {
 	srv.SetMaxBody(*maxBody)
 	srv.SetLogger(logger)
 	srv.SetSlowQuery(*slowQuery)
+	if *faultSpec != "" {
+		faults, err := resilience.ParseFaults(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathserve: %v\n", err)
+			os.Exit(2)
+		}
+		srv.SetFaults(faults)
+		logger.Warn("fault injection active", "spec", *faultSpec, "seed", *faultSeed)
+	}
 	for _, spec := range docs {
 		name, path, err := parseDocFlag(spec)
 		if err != nil {
@@ -186,9 +203,30 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
-		logger.Error("server failed", "err", err)
-		os.Exit(1)
+
+	// SIGTERM/SIGINT drain: flip /healthz to 503 so the router's prober
+	// stops routing here, then let in-flight requests finish before the
+	// listener closes.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-sigCtx.Done():
+		logger.Info("draining", "timeout", *drainTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Warn("drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained")
 	}
 }
 

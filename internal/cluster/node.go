@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -50,6 +51,20 @@ func propagateRequestID(ctx context.Context, req *http.Request) {
 // connection refused, DNS failure, timeout before a response. It is
 // the signal that triggers replica retry in the router.
 var ErrUnavailable = errors.New("cluster: peer unavailable")
+
+// ErrBreakerOpen is returned when the peer's circuit breaker is open:
+// the call failed fast without touching the peer. It wraps
+// ErrUnavailable so replica retry moves on to the next candidate.
+var ErrBreakerOpen = fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
+
+// ErrOverloaded is returned when the peer's in-flight bound is full
+// (load shedding). It wraps ErrUnavailable so replica retry moves on.
+var ErrOverloaded = fmt.Errorf("%w: peer in-flight limit reached", ErrUnavailable)
+
+// ErrRetryBudget is returned by the router when its retry budget
+// denies another attempt. Deliberately NOT ErrUnavailable: an
+// exhausted budget must stop the retry chain, not advance it.
+var ErrRetryBudget = errors.New("cluster: retry budget exhausted")
 
 // ErrNotFound is returned when a peer answered 404 for a document.
 var ErrNotFound = errors.New("cluster: document not found on peer")
@@ -100,6 +115,25 @@ type Node struct {
 	unary  *http.Client
 	stream *http.Client
 
+	// timeout is the flat per-attempt bound; do carves each attempt's
+	// deadline as min(timeout, remaining caller deadline / attempts
+	// left) via resilience.CarveAttempt.
+	timeout time.Duration
+
+	// br fails calls fast while the peer is misbehaving; maxInflight
+	// bounds concurrent calls (0 = unbounded), shedding the excess.
+	// Both are optional: the zero Node admits everything.
+	br          *resilience.Breaker
+	maxInflight int64
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+
+	// downAfter is how many consecutive transport failures mark the
+	// node unhealthy (hysteresis against probe flapping); one success
+	// marks it back up.
+	downAfter  int32
+	failStreak atomic.Int32
+
 	healthy   atomic.Bool
 	lastErr   atomic.Value // string
 	lastCheck atomic.Int64 // unix nanos of the last health probe
@@ -125,14 +159,93 @@ func NewNode(raw string, timeout time.Duration) (*Node, error) {
 		ResponseHeaderTimeout: timeout,
 	}
 	n := &Node{
-		name:  u.Host,
-		base:  u.String(),
-		unary: &http.Client{Transport: tr, Timeout: timeout},
+		name: u.Host,
+		base: u.String(),
+		//lint:ignore ctxhttp unary deadlines are carved per attempt from the caller's context (resilience.CarveAttempt) instead of one flat Client.Timeout, so a tight client deadline is split across retries rather than silently exceeded
+		unary: &http.Client{Transport: tr},
 		//lint:ignore ctxhttp a batch NDJSON stream legitimately outlives any fixed client timeout; each request is bounded by its context and the transport's dial and header timeouts
-		stream: &http.Client{Transport: tr},
+		stream:    &http.Client{Transport: tr},
+		timeout:   timeout,
+		downAfter: 1,
 	}
 	n.healthy.Store(true) // optimistic until a probe or call says otherwise
 	return n, nil
+}
+
+// SetBreaker attaches a circuit breaker consulted before every call.
+// Set it before the node is shared.
+func (n *Node) SetBreaker(br *resilience.Breaker) { n.br = br }
+
+// Breaker returns the node's circuit breaker (nil when none).
+func (n *Node) Breaker() *resilience.Breaker { return n.br }
+
+// SetDownAfter sets how many consecutive transport failures mark the
+// node unhealthy (< 1 is clamped to 1). Set it before the node is
+// shared.
+func (n *Node) SetDownAfter(k int) {
+	if k < 1 {
+		k = 1
+	}
+	n.downAfter = int32(k)
+}
+
+// SetMaxInflight bounds concurrent calls to the peer (0 = unbounded);
+// excess calls shed with ErrOverloaded. Set it before the node is
+// shared.
+func (n *Node) SetMaxInflight(m int) { n.maxInflight = int64(m) }
+
+// Shed returns how many calls the in-flight bound has rejected.
+func (n *Node) Shed() uint64 { return n.shed.Load() }
+
+// WrapTransport wraps the node's HTTP transport — the fault-injection
+// hook (resilience.Faults.Transport). Set it before the node is
+// shared.
+func (n *Node) WrapTransport(wrap func(http.RoundTripper) http.RoundTripper) {
+	n.unary.Transport = wrap(n.unary.Transport)
+	n.stream.Transport = wrap(n.stream.Transport)
+}
+
+// admit gates a call on the in-flight bound and the circuit breaker,
+// returning the release func for the in-flight slot. The bound is
+// checked first so shed calls cannot consume breaker probes.
+func (n *Node) admit() (func(), error) {
+	if n.maxInflight > 0 && n.inflight.Add(1) > n.maxInflight {
+		n.inflight.Add(-1)
+		n.shed.Add(1)
+		return nil, fmt.Errorf("%w (%s)", ErrOverloaded, n.name)
+	}
+	release := func() {
+		if n.maxInflight > 0 {
+			n.inflight.Add(-1)
+		}
+	}
+	if !n.br.Allow() {
+		release()
+		return nil, fmt.Errorf("%w (%s)", ErrBreakerOpen, n.name)
+	}
+	return release, nil
+}
+
+// noteOK records a completed call whose response shows the peer alive:
+// it clears the failure streak, marks the node healthy, and feeds the
+// breaker a success.
+func (n *Node) noteOK() {
+	n.failStreak.Store(0)
+	n.healthy.Store(true)
+	n.br.OnSuccess()
+}
+
+// breakerFailStatus reports whether a peer's response status counts as
+// a breaker failure: 5xx server faults do; application conditions with
+// dedicated meanings (404 not found, 507 store full, 413 too large) do
+// not — a peer answering those is working.
+func breakerFailStatus(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // Name returns the node's display name (host:port) — the "node" tag
@@ -152,13 +265,18 @@ func (n *Node) LastErr() string {
 	return s
 }
 
-// noteErr records a transport failure and marks the node unhealthy
-// when the failure means the peer is unreachable (not when the peer
-// answered with an application error).
+// noteErr records a transport failure: it feeds the breaker, and marks
+// the node unhealthy once downAfter consecutive failures accumulate
+// (hysteresis: one lost probe no longer diverts writes) when the
+// failure means the peer is unreachable (not when the peer answered
+// with an application error).
 func (n *Node) noteErr(err error) {
 	if errors.Is(err, ErrUnavailable) {
-		n.healthy.Store(false)
 		n.lastErr.Store(err.Error())
+		n.br.OnFailure()
+		if n.failStreak.Add(1) >= n.downAfter {
+			n.healthy.Store(false)
+		}
 	}
 }
 
@@ -183,6 +301,11 @@ func (n *Node) statusErr(status int, msg string) error {
 // (skipped when out is nil). Peer error statuses come back as typed
 // errors; transport failures as ErrUnavailable.
 func (n *Node) do(ctx context.Context, method, path string, body, out any) error {
+	release, err := n.admit()
+	if err != nil {
+		return err
+	}
+	defer release()
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -191,7 +314,12 @@ func (n *Node) do(ctx context.Context, method, path string, body, out any) error
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, n.base+path, rd)
+	// Carve this attempt's deadline from the caller's remaining budget
+	// (split across the retry chain's remaining attempts), bounded by
+	// the flat per-attempt timeout.
+	actx, cancel := resilience.CarveAttempt(ctx, n.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, n.base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -201,11 +329,11 @@ func (n *Node) do(ctx context.Context, method, path string, body, out any) error
 	propagateRequestID(ctx, req)
 	resp, err := n.unary.Do(req)
 	if err != nil {
-		// Only the caller's own context keeps its identity here: on
-		// Go 1.23+ a tripped Client.Timeout also matches
-		// context.DeadlineExceeded, and that is the peer's fault — it
-		// must read as ErrUnavailable so replica retry and health
-		// marking fire.
+		// Only the caller's own context keeps its identity here: the
+		// carved attempt deadline tripping (like a slow peer on Go
+		// 1.23+, where a tripped Client.Timeout also matches
+		// context.DeadlineExceeded) is the peer's fault — it must read
+		// as ErrUnavailable so replica retry and health marking fire.
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return fmt.Errorf("cluster: node %s: %w", n.name, ctxErr)
 		}
@@ -219,11 +347,19 @@ func (n *Node) do(ctx context.Context, method, path string, body, out any) error
 		if errors.Is(err, errOversizeResponse) {
 			return fmt.Errorf("%w (%s): %v", ErrPeer, n.name, err)
 		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.name, ctxErr)
+		}
 		err = fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, n.name, err)
 		n.noteErr(err)
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
+		if breakerFailStatus(resp.StatusCode) {
+			n.br.OnFailure()
+		} else {
+			n.noteOK()
+		}
 		var e struct {
 			Error string `json:"error"`
 		}
@@ -233,7 +369,7 @@ func (n *Node) do(ctx context.Context, method, path string, body, out any) error
 		}
 		return n.statusErr(resp.StatusCode, e.Error)
 	}
-	n.healthy.Store(true)
+	n.noteOK()
 	if out == nil {
 		return nil
 	}
@@ -332,6 +468,11 @@ func (n *Node) Stats(ctx context.Context) (NodeStats, error) {
 // response carries the backend's span tree for the router to splice
 // into its own.
 func (n *Node) Query(ctx context.Context, doc, query string, trace bool) (int, map[string]any, error) {
+	release, err := n.admit()
+	if err != nil {
+		return 0, nil, err
+	}
+	defer release()
 	buf, err := json.Marshal(serve.QueryRequest{Doc: doc, Query: query})
 	if err != nil {
 		return 0, nil, err
@@ -340,7 +481,9 @@ func (n *Node) Query(ctx context.Context, doc, query string, trace bool) (int, m
 	if trace {
 		path += "?trace=1"
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, path, bytes.NewReader(buf))
+	actx, cancel := resilience.CarveAttempt(ctx, n.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, path, bytes.NewReader(buf))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -361,6 +504,9 @@ func (n *Node) Query(ctx context.Context, doc, query string, trace bool) (int, m
 		if errors.Is(rerr, errOversizeResponse) {
 			return 0, nil, fmt.Errorf("%w (%s): %v", ErrPeer, n.name, rerr)
 		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, nil, fmt.Errorf("cluster: node %s: %w", n.name, ctxErr)
+		}
 		rerr = fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, n.name, rerr)
 		n.noteErr(rerr)
 		return 0, nil, rerr
@@ -376,7 +522,11 @@ func (n *Node) Query(ctx context.Context, doc, query string, trace bool) (int, m
 		// router a tag-able map rather than a nil it would panic on.
 		out = map[string]any{}
 	}
-	n.healthy.Store(true)
+	if breakerFailStatus(resp.StatusCode) {
+		n.br.OnFailure()
+	} else {
+		n.noteOK()
+	}
 	return resp.StatusCode, out, nil
 }
 
@@ -390,6 +540,11 @@ func (n *Node) Query(ctx context.Context, doc, query string, trace bool) (int, m
 // evaluations at their next checkpoint. A non-200 response comes back
 // as a typed error before emit is ever called.
 func (n *Node) StreamJobs(ctx context.Context, jobs []serve.BatchJob, emit func(map[string]any) error) error {
+	release, err := n.admit()
+	if err != nil {
+		return err
+	}
+	defer release()
 	buf, err := json.Marshal(serve.BatchRequest{Jobs: jobs})
 	if err != nil {
 		return err
@@ -419,9 +574,14 @@ func (n *Node) StreamJobs(ctx context.Context, jobs []serve.BatchJob, emit func(
 		if e.Error == "" {
 			e.Error = strings.TrimSpace(string(raw))
 		}
+		if breakerFailStatus(resp.StatusCode) {
+			n.br.OnFailure()
+		} else {
+			n.noteOK()
+		}
 		return n.statusErr(resp.StatusCode, e.Error)
 	}
-	n.healthy.Store(true)
+	n.noteOK()
 	dec := json.NewDecoder(resp.Body)
 	for {
 		var line map[string]any

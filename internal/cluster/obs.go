@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // routerMetrics are the router's instruments. The routed-work counters
@@ -77,6 +78,33 @@ func (r *Router) initObs() {
 	reg.GaugeFunc("router_ring_generation", "placement ring generation", func() float64 {
 		return float64(r.ring.Generation())
 	})
+	reg.CounterFunc("xpathrouter_repair_rounds_total", "anti-entropy repair rounds completed", func() float64 {
+		return float64(r.repairRounds.Load())
+	})
+	reg.CounterFunc("xpathrouter_repair_copies_total", "replica copies issued by anti-entropy repair", func() float64 {
+		return float64(r.repairCopies.Load())
+	})
+	reg.CounterFunc("xpathrouter_repair_errors_total", "anti-entropy repair listing and copy failures", func() float64 {
+		return float64(r.repairErrs.Load())
+	})
+	reg.CounterFunc("xpathrouter_retry_denied_total", "retries rejected by the retry budget", func() float64 {
+		return float64(r.budget.Denied())
+	})
+	reg.CounterFunc("xpathrouter_shed_total", "calls shed by per-peer in-flight bounds", func() float64 {
+		return float64(r.shedTotal())
+	})
+	// Per-peer breaker position as a gauge (0 closed, 1 half-open,
+	// 2 open), updated by each breaker's state-change hook.
+	breakerState := reg.GaugeVec("xpathrouter_breaker_state", "per-peer circuit breaker state (0=closed, 1=half-open, 2=open)", "peer")
+	for _, n := range r.ring.Peers() {
+		if br := n.Breaker(); br != nil {
+			breakerState.Set(float64(br.State()), n.Name())
+			name := n.Name()
+			br.OnStateChange(func(s resilience.BreakerState) {
+				breakerState.Set(float64(s), name)
+			})
+		}
+	}
 }
 
 // Metrics returns the router's observability registry (served at

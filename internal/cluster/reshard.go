@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -109,14 +110,21 @@ func Reshard(ctx context.Context, opts ReshardOptions) (ReshardSummary, error) {
 		}
 	}
 
-	// Inventory: who holds which document at which version. An
-	// unreachable node aborts the run — resharding around a hole would
+	// Inventory: who holds which document at which version. A transient
+	// transport failure is retried once with backoff; a node that stays
+	// unreachable aborts the run — resharding around a hole would
 	// silently lose whatever only that node held.
+	backoff := resilience.NewBackoff(0, 0, 0)
 	holders := map[string]map[string]uint64{} // doc -> node URL -> version
 	for _, n := range nodes {
-		cctx, cancel := context.WithTimeout(ctx, opts.Timeout)
-		docs, err := n.Documents(cctx)
-		cancel()
+		var docs []serve.DocInfo
+		err := resilience.Retry(ctx, 2, backoff, func(actx context.Context) error {
+			cctx, cancel := context.WithTimeout(actx, opts.Timeout)
+			defer cancel()
+			var lerr error
+			docs, lerr = n.Documents(cctx)
+			return lerr
+		}, func(err error) bool { return errors.Is(err, ErrUnavailable) })
 		if err != nil {
 			return sum, fmt.Errorf("inventory %s: %w", n.Name(), err)
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -83,6 +84,33 @@ type Options struct {
 	// SlowQuery, when positive, logs the full span tree of any traced
 	// request that takes at least this long — the -slow-query flag.
 	SlowQuery time.Duration
+	// DownAfter is how many consecutive transport failures mark a peer
+	// down (default 3 — hysteresis so one lost probe no longer diverts
+	// writes; a single success marks the peer back up).
+	DownAfter int
+	// RetryBudget is the token-bucket retry ratio — how many retries
+	// each first attempt funds (the -retry-budget flag; 0.1 = one retry
+	// per ten requests). 0 disables budgeting (retries unbounded).
+	RetryBudget float64
+	// BreakerThreshold is how many consecutive failures open a peer's
+	// circuit breaker (0: resilience.DefaultBreakerThreshold; negative
+	// disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting
+	// probe calls through (0: resilience.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// RepairInterval is the anti-entropy repair loop's period — the
+	// -repair-interval flag. 0 disables repair.
+	RepairInterval time.Duration
+	// RepairBurst caps how many replica copies one repair round issues
+	// (rate limiting; default 32).
+	RepairBurst int
+	// PeerInflight bounds concurrent calls per peer (load shedding;
+	// 0 = unbounded). Shed calls answer 503 with Retry-After.
+	PeerInflight int
+	// Seed seeds the retry backoff's jitter and is handed to fault
+	// injection for reproducible chaos runs. 0 derives from the clock.
+	Seed int64
 }
 
 // Router fronts a placement Ring of backend nodes: documents are
@@ -113,11 +141,20 @@ type Router struct {
 	metrics *routerMetrics
 	traces  *obs.TraceRing
 
+	budget  *resilience.Budget  // retry token bucket (nil: unbounded)
+	backoff *resilience.Backoff // jittered retry pacing
+
 	requests    atomic.Uint64 // client requests routed
 	retried     atomic.Uint64 // replica retries after an unreachable peer
 	replicated  atomic.Uint64 // successful replica mirror writes
 	replicaErrs atomic.Uint64 // failed replica mirror writes
 	drained     atomic.Uint64 // read misses answered by the old ring
+
+	repairRounds atomic.Uint64 // anti-entropy rounds completed
+	repairCopies atomic.Uint64 // replicas re-copied by repair
+	repairErrs   atomic.Uint64 // repair copy/listing failures
+
+	draining atomic.Bool // BeginDrain flips /healthz to 503
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -161,6 +198,12 @@ func New(peers []*Node, opts Options) (*Router, error) {
 	case opts.Parallel < 1:
 		opts.Parallel = 1
 	}
+	if opts.DownAfter == 0 {
+		opts.DownAfter = 3
+	}
+	if opts.RepairBurst <= 0 {
+		opts.RepairBurst = 32
+	}
 	r := &Router{ring: ring, opts: opts, stop: make(chan struct{})}
 	if len(opts.DrainPeers) > 0 {
 		// The old ring keeps the generation before this one.
@@ -173,8 +216,55 @@ func New(peers []*Node, opts Options) (*Router, error) {
 	if opts.AnswerCacheSize >= 0 {
 		r.cache = newAnswerCache(opts.AnswerCacheSize)
 	}
+	r.budget = resilience.NewBudget(opts.RetryBudget, 0)
+	r.backoff = resilience.NewBackoff(0, 0, opts.Seed)
+	// Attach resilience state to every node this router talks to —
+	// current ring and drain ring alike, each node once.
+	seen := map[*Node]bool{}
+	for _, n := range append(r.ring.Peers(), opts.DrainPeers...) {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		n.SetDownAfter(opts.DownAfter)
+		n.SetMaxInflight(opts.PeerInflight)
+		if opts.BreakerThreshold >= 0 {
+			n.SetBreaker(resilience.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown))
+		}
+	}
 	r.initObs()
 	return r, nil
+}
+
+// BeginDrain puts the router into drain: /healthz answers 503 so load
+// balancers stop sending traffic while in-flight requests finish (the
+// server's Shutdown handles the listener side).
+func (r *Router) BeginDrain() { r.draining.Store(true) }
+
+// beforeAttempt paces one step of a retry chain: attempt 0 funds the
+// retry budget and proceeds at once; each later attempt spends a
+// token (failing with ErrRetryBudget when the bucket is dry) and then
+// waits out the jittered backoff, aborting early if ctx ends.
+func (r *Router) beforeAttempt(ctx context.Context, attempt int) error {
+	if attempt == 0 {
+		r.budget.Deposit()
+		return nil
+	}
+	if !r.budget.Spend() {
+		return ErrRetryBudget
+	}
+	return resilience.Sleep(ctx, r.backoff.Delay(attempt-1))
+}
+
+// writeError answers a routed request's terminal error, adding
+// Retry-After on the shedding statuses so well-behaved clients pace
+// themselves instead of hammering an overloaded fleet.
+func (r *Router) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	serve.HTTPError(w, status, "%v", err)
 }
 
 // Ring returns the router's placement ring.
@@ -225,8 +315,9 @@ func (r *Router) slotCandidates(ring *Ring, slot int) []*Node {
 	return out
 }
 
-// Start launches the background health prober; Stop ends it. Probes
-// run immediately and then every HealthInterval.
+// Start launches the background health prober and, when
+// RepairInterval is positive, the anti-entropy repair loop; Stop ends
+// both. Probes run immediately and then every HealthInterval.
 func (r *Router) Start() {
 	go func() {
 		t := time.NewTicker(r.opts.HealthInterval)
@@ -240,10 +331,22 @@ func (r *Router) Start() {
 			}
 		}
 	}()
+	if r.opts.RepairInterval > 0 {
+		go r.repairLoop()
+	}
 }
 
-// Stop ends the background health prober.
+// Stop ends the background health prober and the repair loop.
 func (r *Router) Stop() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// shedTotal sums the per-peer load-shed counters.
+func (r *Router) shedTotal() uint64 {
+	var total uint64
+	for _, n := range r.ring.Peers() {
+		total += n.Shed()
+	}
+	return total
+}
 
 // CheckHealth probes every peer's /healthz once, concurrently, and
 // returns how many are healthy.
@@ -284,6 +387,10 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.As(err, &pe):
 		return pe.Status
+	case errors.Is(err, ErrBreakerOpen), errors.Is(err, ErrOverloaded), errors.Is(err, ErrRetryBudget):
+		// Shedding conditions: the fleet is protecting itself, the
+		// request is safe to retry after a pause — 503, not 502.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnavailable):
 		return http.StatusBadGateway
 	default:
@@ -338,8 +445,8 @@ func (r *Router) handleDocuments(w http.ResponseWriter, req *http.Request) {
 		r.handleDocumentPut(w, req, body)
 	case http.MethodGet:
 		if name := req.URL.Query().Get("name"); name != "" {
-			r.routeDoc(w, req, name, func(n *Node) (any, error) {
-				info, err := n.GetDocument(req.Context(), name)
+			r.routeDoc(w, req, name, func(ctx context.Context, n *Node) (any, error) {
+				info, err := n.GetDocument(ctx, name)
 				if err != nil {
 					return nil, err
 				}
@@ -378,11 +485,19 @@ func (r *Router) handleDocumentPut(w http.ResponseWriter, req *http.Request, bod
 	// owner must not divert the write to a successor, where (without
 	// replication) it would be invisible to owner-first reads. The
 	// owner is only passed over on an actual unreachable error below.
-	for i, n := range r.ring.Replicas(body.Name, r.spread()) {
+	cands := r.ring.Replicas(body.Name, r.spread())
+	for i, n := range cands {
+		if serr := r.beforeAttempt(req.Context(), i); serr != nil {
+			if errors.Is(serr, ErrRetryBudget) {
+				lastErr = fmt.Errorf("%w; last attempt: %v", ErrRetryBudget, lastErr)
+			}
+			break
+		}
 		if i > 0 {
 			r.retried.Add(1)
 		}
-		nodes, ver, err := n.PutDocumentAt(req.Context(), body.Name, body.XML, body.Version)
+		actx := resilience.WithAttemptsLeft(req.Context(), len(cands)-i)
+		nodes, ver, err := n.PutDocumentAt(actx, body.Name, body.XML, body.Version)
 		if err == nil {
 			out := map[string]any{"name": body.Name, "nodes": nodes, "node": n.Name()}
 			if r.opts.Replicas > 0 {
@@ -414,7 +529,7 @@ func (r *Router) handleDocumentPut(w http.ResponseWriter, req *http.Request, bod
 			break
 		}
 	}
-	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+	r.writeError(w, lastErr)
 }
 
 // replicate mirrors a registration at its owner-assigned version to
@@ -498,12 +613,16 @@ func (r *Router) handleDocumentDelete(w http.ResponseWriter, req *http.Request, 
 	deleted := []string{}
 	nodeErrs := map[string]string{}
 	var lastErr error
-	for _, n := range targets {
+	for i, n := range targets {
 		if seen[n.URL()] {
 			continue
 		}
 		seen[n.URL()] = true
-		err := n.DeleteDocument(req.Context(), name)
+		// Not a retry chain — every distinct holder is visited — but a
+		// tight caller deadline is still split across the remaining
+		// targets so one slow holder cannot consume all of it.
+		actx := resilience.WithAttemptsLeft(req.Context(), len(targets)-i)
+		err := n.DeleteDocument(actx, name)
 		switch {
 		case err == nil:
 			deleted = append(deleted, n.Name())
@@ -538,7 +657,7 @@ func (r *Router) handleDocumentDelete(w http.ResponseWriter, req *http.Request, 
 		serve.HTTPError(w, http.StatusNotFound, "unknown document %q", name)
 		return
 	}
-	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+	r.writeError(w, lastErr)
 }
 
 // routeDoc runs one owner-routed read with replica retry: the
@@ -549,7 +668,7 @@ func (r *Router) handleDocumentDelete(w http.ResponseWriter, req *http.Request, 
 // owner recovers, because reads probe the rest of the retry ring
 // before reporting the 404. In drain mode a miss additionally probes
 // the old ring before giving up.
-func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, call func(*Node) (any, error)) {
+func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, call func(context.Context, *Node) (any, error)) {
 	type cand struct {
 		n       *Node
 		drained bool
@@ -565,16 +684,24 @@ func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, 
 	}
 	var lastErr error
 	seen := map[string]bool{}
-	for _, c := range cands {
+	attempt := 0
+	for i, c := range cands {
 		n := c.n
 		if seen[n.URL()] {
 			continue
 		}
 		seen[n.URL()] = true
-		if lastErr != nil {
+		if serr := r.beforeAttempt(req.Context(), attempt); serr != nil {
+			if errors.Is(serr, ErrRetryBudget) {
+				lastErr = fmt.Errorf("%w; last attempt: %v", ErrRetryBudget, lastErr)
+			}
+			break
+		}
+		if attempt > 0 {
 			r.retried.Add(1)
 		}
-		out, err := call(n)
+		attempt++
+		out, err := call(resilience.WithAttemptsLeft(req.Context(), len(cands)-i), n)
 		if err == nil {
 			if c.drained {
 				r.drained.Add(1)
@@ -598,7 +725,7 @@ func (r *Router) routeDoc(w http.ResponseWriter, req *http.Request, doc string, 
 		}
 		break
 	}
-	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+	r.writeError(w, lastErr)
 }
 
 // handleDocumentList merges every peer's listing; entries are tagged
@@ -722,7 +849,14 @@ func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request, body ser
 	var lastErr error
 	var notFound map[string]any
 	traceOn := obs.TraceRequested(req)
-	for i, n := range r.slotCandidates(ring, ring.OwnerIndex(body.Doc)) {
+	cands := r.slotCandidates(ring, ring.OwnerIndex(body.Doc))
+	for i, n := range cands {
+		if serr := r.beforeAttempt(req.Context(), i); serr != nil {
+			if errors.Is(serr, ErrRetryBudget) {
+				lastErr = fmt.Errorf("%w; last attempt: %v", ErrRetryBudget, lastErr)
+			}
+			break
+		}
 		if i > 0 {
 			r.retried.Add(1)
 		}
@@ -730,7 +864,7 @@ func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request, body ser
 		// client asked for a trace, the backend evaluates with ?trace=1
 		// too and its span tree is spliced in as the forward's remote —
 		// one report shows both tiers under one request ID.
-		fctx, fspan := obs.StartSpan(req.Context(), "forward")
+		fctx, fspan := obs.StartSpan(resilience.WithAttemptsLeft(req.Context(), len(cands)-i), "forward")
 		fspan.SetAttr("node", n.Name())
 		status, resp, err := n.Query(fctx, body.Doc, body.Query, traceOn)
 		fspan.End()
@@ -784,7 +918,7 @@ func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request, body ser
 	if drainRing {
 		return nil, false // an unreachable old ring is not this query's error
 	}
-	serve.HTTPError(w, statusFor(lastErr), "%v", lastErr)
+	r.writeError(w, lastErr)
 	return nil, true
 }
 
@@ -918,6 +1052,22 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 // is set.
 func (r *Router) streamGroup(ctx context.Context, cands []*Node, attempt int, indices []int, jobs []serve.BatchJob, writeLine func(map[string]any), exhausted func([]int)) {
 	n := cands[attempt]
+	if serr := r.beforeAttempt(ctx, attempt); serr != nil {
+		if ctx.Err() != nil {
+			return // client gone; no error lines into a dead stream
+		}
+		// Budget denied: the jobs this group still owes get their typed
+		// error lines so the one-line-per-job invariant holds.
+		for _, gi := range indices {
+			writeLine(map[string]any{
+				"index": gi,
+				"doc":   jobs[gi].Doc,
+				"query": jobs[gi].Query,
+				"error": serr.Error(),
+			})
+		}
+		return
+	}
 	if attempt > 0 {
 		r.retried.Add(1)
 	}
@@ -1037,6 +1187,11 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		"retries":        r.retried.Load(),
 		"replicated":     r.replicated.Load(),
 		"replica_errors": r.replicaErrs.Load(),
+		"retry_denied":   r.budget.Denied(),
+		"shed":           r.shedTotal(),
+		"repair_rounds":  r.repairRounds.Load(),
+		"repair_copies":  r.repairCopies.Load(),
+		"repair_errors":  r.repairErrs.Load(),
 	}
 	if r.old != nil {
 		router["drained"] = r.drained.Load()
@@ -1066,6 +1221,8 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 		Node      string `json:"node"`
 		URL       string `json:"url"`
 		Healthy   bool   `json:"healthy"`
+		Breaker   string `json:"breaker,omitempty"`
+		Shed      uint64 `json:"shed,omitempty"`
 		LastError string `json:"last_error,omitempty"`
 		LastCheck string `json:"last_check,omitempty"`
 	}
@@ -1073,7 +1230,10 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 	peers := make([]peerHealth, len(ringPeers))
 	healthy := 0
 	for i, n := range ringPeers {
-		ph := peerHealth{Node: n.Name(), URL: n.URL(), Healthy: n.Healthy(), LastError: n.LastErr()}
+		ph := peerHealth{Node: n.Name(), URL: n.URL(), Healthy: n.Healthy(), LastError: n.LastErr(), Shed: n.Shed()}
+		if br := n.Breaker(); br != nil {
+			ph.Breaker = br.State().String()
+		}
 		if lc := n.LastCheck(); !lc.IsZero() {
 			ph.LastCheck = lc.UTC().Format(time.RFC3339Nano)
 		}
@@ -1082,17 +1242,21 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 		}
 		peers[i] = ph
 	}
+	draining := r.draining.Load()
 	status := http.StatusOK
-	if healthy == 0 {
+	if healthy == 0 || draining {
 		status = http.StatusServiceUnavailable
 	}
 	out := map[string]any{
-		"ok":        healthy > 0,
+		"ok":        healthy > 0 && !draining,
 		"healthy":   healthy,
 		"peers":     peers,
 		"ring":      r.ring.Describe(),
 		"uptime_ms": obs.UptimeMillis(),
 		"build":     obs.Build(),
+	}
+	if draining {
+		out["draining"] = true
 	}
 	if r.old != nil {
 		out["drain_ring"] = r.old.Describe()

@@ -478,14 +478,21 @@ func TestReadFallbackAfterOwnerRecovers(t *testing.T) {
 }
 
 // TestHealthEndpoint pins the router's fleet view: probes mark a
-// downed node, /health reports per-peer state, and an all-dead fleet
-// answers 503.
+// downed node (after DownAfter consecutive failures — hysteresis
+// against flapping), /health reports per-peer state, and an all-dead
+// fleet answers 503.
 func TestHealthEndpoint(t *testing.T) {
 	router, ts, backends := newCluster(t, 2, Options{Timeout: time.Second}, store.Config{})
 	if h := router.CheckHealth(); h != 2 {
 		t.Fatalf("CheckHealth = %d, want 2", h)
 	}
 	backends[1].ts.Close()
+	// One lost probe no longer marks the peer down: the default
+	// DownAfter is 3 consecutive failures.
+	if h := router.CheckHealth(); h != 2 {
+		t.Fatalf("CheckHealth after one lost probe = %d, want 2 (hysteresis)", h)
+	}
+	router.CheckHealth()
 	if h := router.CheckHealth(); h != 1 {
 		t.Fatalf("CheckHealth with one down = %d, want 1", h)
 	}
@@ -511,7 +518,9 @@ func TestHealthEndpoint(t *testing.T) {
 		t.Fatal("downed peer missing from /health")
 	}
 	backends[0].ts.Close()
-	router.CheckHealth()
+	for i := 0; i < 3; i++ { // DownAfter consecutive failures
+		router.CheckHealth()
+	}
 	if resp, _ := getJSON(t, ts.URL+"/health"); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("all-dead health status = %d, want 503", resp.StatusCode)
 	}

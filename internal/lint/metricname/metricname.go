@@ -55,6 +55,7 @@ var registerMethods = map[string]int{
 	"GaugeFunc":    -1,
 	"Histogram":    -1,
 	"CounterVec":   2, // (name, help, labels...)
+	"GaugeVec":     2, // (name, help, labels...)
 	"HistogramVec": 3, // (name, help, buckets, labels...)
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/lint/ctxhttp"
 	"repro/internal/lint/lockshard"
 	"repro/internal/lint/metricname"
+	"repro/internal/lint/retryloop"
 	"repro/internal/lint/sharedset"
 	"repro/internal/lint/wiretag"
 )
@@ -19,5 +20,6 @@ func All() []*analysis.Analyzer {
 		wiretag.Analyzer,
 		ctxhttp.Analyzer,
 		metricname.Analyzer,
+		retryloop.Analyzer,
 	}
 }

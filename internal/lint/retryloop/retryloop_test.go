@@ -1,0 +1,12 @@
+package retryloop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/retryloop"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, retryloop.Analyzer, "retryloop")
+}

@@ -428,6 +428,103 @@ func (v *CounterVec) write(w io.Writer) {
 	}
 }
 
+// GaugeVec is a family of gauges distinguished by label values — the
+// shape the router's per-peer breaker-state export uses.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+
+	mu       sync.RWMutex
+	children map[string]*labeledGauge
+	order    []string
+}
+
+type labeledGauge struct {
+	vals []string
+	bits atomic.Uint64
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	checkLabels(name, labels)
+	return r.register(name, &GaugeVec{
+		name: name, help: help, labels: labels,
+		children: map[string]*labeledGauge{},
+	}).(*GaugeVec)
+}
+
+func (v *GaugeVec) describe() (string, string, string) { return v.name, v.help, "gauge" }
+func (v *GaugeVec) signature() string {
+	return "gauge|" + v.help + "|" + strings.Join(v.labels, ",")
+}
+
+func (v *GaugeVec) child(values []string) *labeledGauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	g, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[key]; ok {
+		return g
+	}
+	g = &labeledGauge{vals: append([]string{}, values...)}
+	v.children[key] = g
+	v.order = append(v.order, key)
+	return g
+}
+
+// Set replaces the child gauge's value for the given label values.
+func (v *GaugeVec) Set(val float64, values ...string) {
+	v.child(values).bits.Store(math.Float64bits(val))
+}
+
+// Add adjusts the child gauge for the given label values by d.
+func (v *GaugeVec) Add(d float64, values ...string) {
+	g := v.child(values)
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the child gauge's current value (0 when the child has
+// never been touched).
+func (v *GaugeVec) Value(values ...string) float64 {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if g, ok := v.children[key]; ok {
+		return math.Float64frombits(g.bits.Load())
+	}
+	return 0
+}
+
+func (v *GaugeVec) write(w io.Writer) {
+	v.mu.RLock()
+	keys := append([]string{}, v.order...)
+	children := make([]*labeledGauge, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.RUnlock()
+	for _, g := range children {
+		fmt.Fprintf(w, "%s%s %s\n", v.name, labelPairs(v.labels, g.vals), formatValue(math.Float64frombits(g.bits.Load())))
+	}
+}
+
 // HistogramVec is a family of histograms distinguished by label
 // values — the shape the engine's per-(fragment, strategy) latency
 // family uses.

@@ -120,6 +120,57 @@ func TestCounterVecConcurrency(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("breaker_state", "per-peer breaker position", "peer")
+	if v2 := r.GaugeVec("breaker_state", "per-peer breaker position", "peer"); v2 != v {
+		t.Error("identical registration should return the same vec")
+	}
+	v.Set(2, "node-a")
+	v.Set(1, "node-b")
+	v.Add(-1, "node-b")
+	if got := v.Value("node-a"); got != 2 {
+		t.Errorf("Value(node-a) = %v, want 2", got)
+	}
+	if got := v.Value("node-b"); got != 0 {
+		t.Errorf("Value(node-b) = %v, want 0", got)
+	}
+	if got := v.Value("never"); got != 0 {
+		t.Errorf("untouched child = %v, want 0", got)
+	}
+	var buf strings.Builder
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# TYPE breaker_state gauge`) ||
+		!strings.Contains(out, `breaker_state{peer="node-a"} 2`) {
+		t.Errorf("exposition missing gauge vec:\n%s", out)
+	}
+	samples, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v", err)
+	}
+	if len(samples) != 2 {
+		t.Errorf("samples = %+v, want 2", samples)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Add(1, "node-a")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Value("node-a"); got != 802 {
+		t.Errorf("concurrent Add: Value(node-a) = %v, want 802", got)
+	}
+}
+
 func TestMetricsHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("handler_total", "x").Inc()

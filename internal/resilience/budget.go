@@ -1,0 +1,76 @@
+package resilience
+
+import "sync"
+
+// DefaultBudgetCap bounds how many retry tokens a Budget can bank:
+// a long quiet stretch must not save up an unbounded burst of retries
+// for the next outage.
+const DefaultBudgetCap = 10
+
+// Budget is a token-bucket retry budget: every first attempt deposits
+// ratio tokens (capped), every retry spends one whole token. With
+// ratio r, retries are bounded to ~r per request in steady state —
+// retry volume degrades proportionally with traffic instead of
+// multiplying it during an outage. Safe for concurrent use; a nil
+// Budget never denies (retries unbounded).
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	max    float64
+	denied uint64
+}
+
+// NewBudget creates a Budget granting ratio retries per first attempt
+// (0.2 = one retry per five requests), banking at most max tokens
+// (<= 0: DefaultBudgetCap). A ratio <= 0 returns nil — the unlimited
+// budget.
+func NewBudget(ratio, max float64) *Budget {
+	if ratio <= 0 {
+		return nil
+	}
+	if max <= 0 {
+		max = DefaultBudgetCap
+	}
+	// Start full: a cold router facing an outage on its first requests
+	// may still retry.
+	return &Budget{tokens: max, ratio: ratio, max: max}
+}
+
+// Deposit credits one first attempt's worth of retry allowance.
+func (b *Budget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens += b.ratio; b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Spend takes one retry token, reporting whether the retry is within
+// budget. A denied retry is counted but costs nothing.
+func (b *Budget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Denied returns how many retries the budget has rejected.
+func (b *Budget) Denied() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/resilience"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestDrainHealthz: BeginDrain flips the liveness probe to 503 so load
+// balancers stop routing here, while in-flight and follow-up requests
+// on the still-open listener keep being served.
+func TestDrainHealthz(t *testing.T) {
+	srv, ts := testServer(t)
+
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", resp.StatusCode)
+	}
+	srv.BeginDrain()
+	resp, out := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+	if out["draining"] != true || out["ok"] != false {
+		t.Fatalf("healthz drain body = %v, want draining=true ok=false", out)
+	}
+	if resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query during drain = %d (%v), want 200", resp.StatusCode, out)
+	}
+}
+
+// TestServerFaults: a -fault-spec style injection wired via SetFaults
+// fires on matching requests, honors its trigger budget, and leaves
+// non-matching paths alone.
+func TestServerFaults(t *testing.T) {
+	f, err := resilience.ParseFaults("err:path=/query;code=503;times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(engine.New(engine.Options{CacheSize: 8, Workers: 2}), store.Config{})
+	if _, _, err := srv.AddDocument("catalog", workload.Catalog(4).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFaults(f)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/query?doc=catalog&q=count(//product)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first query = %d, want injected 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "injected fault") {
+		t.Fatalf("injected body = %q, want injected-fault marker", body)
+	}
+	// Budget spent: the same request now succeeds.
+	if resp, out := getJSON(t, ts.URL+"/query?doc=catalog&q=count(//product)"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query = %d (%v), want 200", resp.StatusCode, out)
+	}
+	// Non-matching path was never a candidate.
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}

@@ -21,12 +21,14 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/semantics"
 	"repro/internal/store"
 	"repro/internal/xpath"
@@ -71,7 +73,23 @@ type Server struct {
 	traces  *obs.TraceRing
 	logger  *slog.Logger
 	slow    time.Duration
+
+	// draining flips /healthz to 503 during graceful shutdown so load
+	// balancers and the cluster router stop routing here while
+	// in-flight requests finish; faults, when set, is the -fault-spec
+	// injection middleware wrapped around the handler.
+	draining atomic.Bool
+	faults   *resilience.Faults
 }
+
+// BeginDrain marks the server draining: /healthz answers 503 from now
+// on while every other endpoint keeps serving, so in-flight and
+// already-routed work completes during a graceful shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// SetFaults installs a fault injector wrapped around the handler (the
+// -fault-spec hook). Call before Handler; nil is a no-op.
+func (s *Server) SetFaults(f *resilience.Faults) { s.faults = f }
 
 // New creates a Server over an engine with a store built from cfg
 // (zero MaxEntries takes DefaultMaxDocuments).
@@ -218,12 +236,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("/debug/traces", s.traces.Handler())
-	return s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
 		mux.ServeHTTP(w, r)
 	}))
+	// Fault injection wraps the whole surface so injected refusals and
+	// cuts hit exactly what a real network fault would.
+	return s.faults.Handler(h)
 }
 
 // DocumentRequest registers a document: the body of POST /documents.
@@ -669,18 +690,27 @@ func (s *Server) handleJobsBatch(w http.ResponseWriter, r *http.Request, jobs []
 }
 
 // handleHealthz is the liveness probe the cluster router polls: cheap,
-// allocation-light, and always 200 while the process serves.
+// allocation-light, 200 while the process serves and 503 once a
+// graceful shutdown begins (BeginDrain) so routers divert new work
+// while in-flight requests finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		HTTPError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	WriteJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"ok":        true,
 		"documents": s.docs.Stats().Entries,
 		"uptime_ms": obs.UptimeMillis(),
 		"build":     obs.Build(),
-	})
+	}
+	if s.draining.Load() {
+		out["ok"] = false
+		out["draining"] = true
+		WriteJSON(w, http.StatusServiceUnavailable, out)
+		return
+	}
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
