@@ -205,6 +205,18 @@ func classify(e xpath.Expr) Fragment {
 	}
 }
 
+// StrategyPlanner resolves the Auto strategy per query. It is the hook
+// internal/planner plugs into: core cannot import the planner (the
+// planner imports core), so the Engine only knows the shape of the
+// decision — given a compiled query and the document size, name a
+// concrete strategy. Implementations must be safe for concurrent use
+// and side-effect-free (StrategyFor is called on paths that must not
+// perturb adaptive state; stateful planning goes through the serving
+// layer's explicit Decide).
+type StrategyPlanner interface {
+	PickStrategy(q *Query, docNodes int) Strategy
+}
+
 // Engine evaluates compiled queries over one document with a fixed
 // strategy.
 //
@@ -235,6 +247,11 @@ type Engine struct {
 	// fully sequential; results are identical at every setting. Engines
 	// without parallel kernels ignore it.
 	Parallelism int
+
+	// Planner, when non-nil and the engine's strategy is Auto,
+	// resolves StrategyFor through shape-based planning instead of the
+	// static fragment switch. Set it before sharing the Engine.
+	Planner StrategyPlanner
 }
 
 // NewEngine creates an engine over a document.
@@ -253,10 +270,16 @@ func (en *Engine) Warm() { en.doc.Index() }
 func (en *Engine) Strategy() Strategy { return en.strategy }
 
 // StrategyFor reports the concrete algorithm Auto would pick for a
-// query.
+// query: the Planner's choice when one is configured, otherwise the
+// static fragment switch of the combined processor.
 func (en *Engine) StrategyFor(q *Query) Strategy {
 	if en.strategy != Auto {
 		return en.strategy
+	}
+	if en.Planner != nil {
+		if s := en.Planner.PickStrategy(q, en.doc.Len()); s != Auto {
+			return s
+		}
 	}
 	switch q.frag {
 	case FragmentCoreXPath:
@@ -284,10 +307,24 @@ func (en *Engine) Evaluate(q *Query, c Context) (Value, error) {
 // so an abandoned request stops burning CPU mid-query no matter which
 // algorithm is running.
 func (en *Engine) EvaluateContext(ctx context.Context, q *Query, c Context) (Value, error) {
+	return en.EvaluateStrategy(ctx, q, c, en.StrategyFor(q))
+}
+
+// EvaluateStrategy evaluates with an explicitly named strategy,
+// ignoring the engine's configured one (Auto still resolves through
+// StrategyFor). It exists so a planning layer can pin a decision to
+// its execution: the serving layer decides once, runs exactly that
+// algorithm, and reports exactly what ran — re-deriving the strategy
+// at evaluation time could disagree with the decision under
+// exploration or concurrent adaptation.
+func (en *Engine) EvaluateStrategy(ctx context.Context, q *Query, c Context, s Strategy) (Value, error) {
 	if err := ctx.Err(); err != nil {
 		return Value{}, err
 	}
-	switch en.StrategyFor(q) {
+	if s == Auto {
+		s = en.StrategyFor(q)
+	}
+	switch s {
 	case Naive:
 		ev := naive.New(en.doc)
 		ev.Budget = en.NaiveBudget
@@ -315,7 +352,7 @@ func (en *Engine) EvaluateContext(ctx context.Context, q *Query, c Context) (Val
 	case XPatterns:
 		return xpatterns.New(en.doc).EvaluateContext(ctx, q.expr, c)
 	default:
-		return Value{}, fmt.Errorf("core: unknown strategy %v", en.strategy)
+		return Value{}, fmt.Errorf("core: unknown strategy %v", s)
 	}
 }
 

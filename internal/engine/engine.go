@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/planner"
 )
 
 // DefaultCacheSize is the compiled-query cache capacity used when
@@ -59,6 +60,17 @@ type Options struct {
 	// (0 = unlimited); see core.Engine.MaxTableRows.
 	MaxTableRows int
 
+	// Planner selects how the Auto strategy is resolved per query:
+	// planner.Off (the default) keeps the static fragment switch,
+	// planner.Rules routes on structural shape rules, and
+	// planner.Adaptive additionally refines the rules online from
+	// latency observations. Ignored unless Strategy is Auto. Queries
+	// the planner routes to bottomup always fall back to MinContext on
+	// a table-limit trip, whether or not Fallback is set — a planning
+	// mistake must never surface a resource-limit error the caller's
+	// own strategy choice could not have hit.
+	Planner planner.Mode
+
 	// Fallback, when set, transparently retries a query whose
 	// evaluation tripped bottomup.ErrTableLimit on the MinContext
 	// strategy (polynomial space) instead of surfacing the error; each
@@ -80,6 +92,7 @@ type Engine struct {
 	cache     *queryCache
 	reg       *obs.Registry
 	metrics   *engineMetrics
+	planner   *planner.Planner // nil unless Options.Planner is on and Strategy is Auto
 	inFlight  atomic.Int64
 	fallbacks atomic.Uint64
 }
@@ -103,8 +116,23 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{opts: opts, cache: newQueryCache(opts.CacheSize), reg: opts.Metrics}
 	e.metrics = newEngineMetrics(e.reg, e)
+	if opts.Planner != planner.Off && opts.Strategy == core.Auto {
+		// The planner reads the engine's own (fragment, strategy)
+		// latency matrix as fleet-level evidence and registers its
+		// decision counters next to the engine's instruments.
+		e.planner = planner.New(planner.Config{
+			Mode:     opts.Planner,
+			Matrix:   e.metrics.query,
+			Registry: e.reg,
+		})
+	}
 	return e
 }
+
+// Planner returns the engine's strategy planner (nil when planning is
+// off or the engine's strategy is not Auto). Serving layers read its
+// Stats for /stats; tests seed it with observations.
+func (e *Engine) Planner() *planner.Planner { return e.planner }
 
 // Metrics returns the registry the engine records into, so upper
 // layers (serve, cmd wiring) can add their own instruments to the same
@@ -129,12 +157,23 @@ func (e *Engine) Compile(src string) (*core.Query, error) {
 // obs trace, the cache probe and (on a miss) the compilation each get
 // a span, with the cache outcome recorded as an attribute.
 func (e *Engine) CompileContext(ctx context.Context, src string) (*core.Query, error) {
-	k := cacheKey{src: src, strategy: e.opts.Strategy}
+	entry, err := e.compileEntry(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return entry.q, nil
+}
+
+// compileEntry is the shared compile path: cache probe, compile on a
+// miss, cost-aware admission. The returned entry carries the compiled
+// query and its per-strategy latency EWMAs (it may be detached when
+// admission rejected it; it is still fully usable for this request).
+func (e *Engine) compileEntry(ctx context.Context, src string) (*cacheEntry, error) {
 	_, lookup := obs.StartSpan(ctx, "cache_lookup")
-	if q, ok := e.cache.get(k); ok {
+	if entry, ok := e.cache.get(src); ok {
 		lookup.SetAttr("outcome", "hit")
 		lookup.End()
-		return q, nil
+		return entry, nil
 	}
 	lookup.SetAttr("outcome", "miss")
 	lookup.End()
@@ -145,18 +184,20 @@ func (e *Engine) CompileContext(ctx context.Context, src string) (*core.Query, e
 		span.End()
 		return nil, err
 	}
-	q = e.cache.add(k, q, uint64(time.Since(start)))
+	entry := e.cache.add(src, q, uint64(time.Since(start)))
 	span.SetAttr("fragment", fragLabel(q.Fragment()))
 	span.End()
 	e.metrics.stage.With("compile").ObserveSince(start)
-	return q, nil
+	return entry, nil
 }
 
 // Stats is a point-in-time reading of the engine's observable state.
 type Stats struct {
 	// Hits, Misses and Evictions count compiled-query cache events
-	// since the engine was created.
-	Hits, Misses, Evictions uint64
+	// since the engine was created. Rejects counts compilations the
+	// cost-aware admission policy declined to cache because the LRU
+	// victim was more expensive to recompile.
+	Hits, Misses, Evictions, Rejects uint64
 	// CompileNanosSaved is the cumulative compile time cache hits
 	// avoided re-spending, summed from each entry's own recorded
 	// compilation cost.
@@ -183,9 +224,9 @@ func (s Stats) HitRate() float64 {
 
 // Stats returns current cache and in-flight statistics.
 func (e *Engine) Stats() Stats {
-	hits, misses, evictions, saved, size, capacity := e.cache.snapshot()
+	hits, misses, evictions, rejects, saved, size, capacity := e.cache.snapshot()
 	return Stats{
-		Hits: hits, Misses: misses, Evictions: evictions,
+		Hits: hits, Misses: misses, Evictions: evictions, Rejects: rejects,
 		CompileNanosSaved: saved,
 		Size:              size, Capacity: capacity,
 		InFlight:  e.inFlight.Load(),

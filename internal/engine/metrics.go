@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/planner"
 )
 
 // engineMetrics are the engine's instruments in the shared obs
@@ -34,16 +35,20 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		query:   reg.HistogramVec("xpath_query_seconds", "evaluation latency in seconds by fragment class and strategy", nil, "fragment", "strategy"),
 	}
 	reg.CounterFunc("xpath_compile_cache_hits_total", "compiled-query cache hits", func() float64 {
-		hits, _, _, _, _, _ := e.cache.snapshot()
+		hits, _, _, _, _, _, _ := e.cache.snapshot()
 		return float64(hits)
 	})
 	reg.CounterFunc("xpath_compile_cache_misses_total", "compiled-query cache misses", func() float64 {
-		_, misses, _, _, _, _ := e.cache.snapshot()
+		_, misses, _, _, _, _, _ := e.cache.snapshot()
 		return float64(misses)
 	})
 	reg.CounterFunc("xpath_compile_cache_evictions_total", "compiled-query cache evictions", func() float64 {
-		_, _, evictions, _, _, _ := e.cache.snapshot()
+		_, _, evictions, _, _, _, _ := e.cache.snapshot()
 		return float64(evictions)
+	})
+	reg.CounterFunc("xpath_compile_cache_rejects_total", "compilations the cost-aware admission policy declined to cache", func() float64 {
+		_, _, _, rejects, _, _, _ := e.cache.snapshot()
+		return float64(rejects)
 	})
 	reg.CounterFunc("xpath_fallbacks_total", "queries retried on MinContext after a table-limit trip", func() float64 {
 		return float64(e.fallbacks.Load())
@@ -63,18 +68,8 @@ func newEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 // compile and evaluate stages use.
 func (e *Engine) StageSeconds() *obs.HistogramVec { return e.metrics.stage }
 
-// fragLabel maps a fragment class to its snake_case metric label; the
-// display strings in internal/core ("Core XPath", "Extended Wadler
-// Fragment") are not valid label material.
-func fragLabel(f core.Fragment) string {
-	switch f {
-	case core.FragmentCoreXPath:
-		return "core_xpath"
-	case core.FragmentXPatterns:
-		return "xpatterns"
-	case core.FragmentWadler:
-		return "wadler"
-	default:
-		return "full_xpath"
-	}
-}
+// fragLabel maps a fragment class to its snake_case metric label. The
+// vocabulary lives in internal/planner (the planner keys its shape
+// classes and matrix probes on the same strings); delegating keeps the
+// two layers incapable of disagreeing.
+func fragLabel(f core.Fragment) string { return planner.FragmentLabel(f) }

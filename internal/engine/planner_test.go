@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/workload"
+)
+
+// TestPlannedBottomUpFallsBackOnceAndBans is the planner/fallback
+// interaction contract: a planned bottomup choice that trips
+// ErrTableLimit must (1) fall back to MinContext exactly once and
+// still produce the value, (2) record the failure against the shape
+// class, and (3) not re-pick bottomup for the same class on the next
+// request — even though the caller never configured Fallback.
+func TestPlannedBottomUpFallsBackOnceAndBans(t *testing.T) {
+	e := New(Options{
+		Strategy:     core.Auto,
+		Planner:      planner.Adaptive,
+		MaxTableRows: 4, // trips on any multi-row context-value table
+		CacheSize:    8,
+	})
+	p := e.Planner()
+	if p == nil {
+		t.Fatal("adaptive options did not construct a planner")
+	}
+	p.SetExploreEvery(0) // deterministic decisions for the test
+	doc := workload.Catalog(30)
+	sess := e.NewSession(doc)
+
+	const src = "count(//product[position() = last()])"
+	q := core.MustCompile(src)
+	// Seed the class so bottomup looks fastest: the planner has no
+	// other evidence, so the next decision must pick it.
+	p.Observe(q, doc.Len(), core.BottomUp, time.Microsecond, false)
+
+	res := sess.Do(src)
+	if res.Err != nil {
+		t.Fatalf("planned bottomup trip was not rescued: %v", res.Err)
+	}
+	if !res.Planned {
+		t.Fatal("result not marked as planned")
+	}
+	if !res.FellBack || res.Strategy != core.MinContext {
+		t.Fatalf("result = fellback %v strategy %v, want the MinContext rescue reported", res.FellBack, res.Strategy)
+	}
+	if res.Value.Num != 1 {
+		t.Fatalf("value = %v, want 1", res.Value.Num)
+	}
+	if got := e.Stats().Fallbacks; got != 1 {
+		t.Fatalf("fallbacks = %d, want exactly 1", got)
+	}
+	if got := p.Stats().Bans; got != 1 {
+		t.Fatalf("planner bans = %d, want 1 (failure recorded against the shape class)", got)
+	}
+
+	// Same class next request: bottomup is banned, so no second trip
+	// and no second fallback.
+	res2 := sess.Do(src)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if res2.Strategy == core.BottomUp {
+		t.Fatal("banned bottomup re-picked for the same shape class")
+	}
+	if res2.FellBack {
+		t.Fatal("second request fell back; the ban should have routed around bottomup")
+	}
+	if got := e.Stats().Fallbacks; got != 1 {
+		t.Fatalf("fallbacks = %d after second request, want still 1", got)
+	}
+}
+
+// TestSharedCompilationAcrossStrategies is the shared-compilation
+// acceptance check: when the planner routes the same query source to
+// different strategies across requests, the engine compiles it once —
+// the second request is a cache hit on the same source-keyed entry,
+// not a recompile under a new (source, strategy) key.
+func TestSharedCompilationAcrossStrategies(t *testing.T) {
+	e := New(Options{Strategy: core.Auto, Planner: planner.Adaptive, CacheSize: 8})
+	p := e.Planner()
+	p.SetExploreEvery(0)
+	doc := workload.Doc(50)
+	sess := e.NewSession(doc)
+
+	const src = "count(//a) < count(//b)"
+	q := core.MustCompile(src)
+	// First request: seeded class evidence routes to TopDown.
+	p.Observe(q, doc.Len(), core.TopDown, time.Microsecond, false)
+	r1 := sess.Do(src)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if r1.Strategy != core.TopDown {
+		t.Fatalf("first request ran %v, want seeded TopDown", r1.Strategy)
+	}
+	// Second request: overwhelming class evidence flips the route to
+	// MinContext (the entry's own EWMA only covers TopDown, so the
+	// class estimate decides for MinContext).
+	for i := 0; i < 8; i++ {
+		p.Observe(q, doc.Len(), core.MinContext, time.Nanosecond, false)
+	}
+	r2 := sess.Do(src)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.Strategy != core.MinContext {
+		t.Fatalf("second request ran %v, want MinContext", r2.Strategy)
+	}
+
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("cache misses = %d, want 1: one parse/normalize per source across strategies", st.Misses)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("cache hits = %d, want 1: the re-routed request must hit the shared entry", st.Hits)
+	}
+}
+
+// TestPlannerOffKeepsStaticAuto pins the default: without a planner,
+// Auto resolves by fragment and results are not marked planned.
+func TestPlannerOffKeepsStaticAuto(t *testing.T) {
+	e := New(Options{Strategy: core.Auto})
+	if e.Planner() != nil {
+		t.Fatal("planner constructed with Planner mode off")
+	}
+	sess := e.NewSession(workload.Doc(20))
+	res := sess.Do("//a")
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Planned {
+		t.Fatal("result marked planned with planning off")
+	}
+	if res.Strategy != core.CoreXPath {
+		t.Fatalf("strategy = %v, want the static fragment pick CoreXPath", res.Strategy)
+	}
+}
+
+// TestFixedStrategyIgnoresPlanner: a non-Auto engine never plans, even
+// when the option is set.
+func TestFixedStrategyIgnoresPlanner(t *testing.T) {
+	e := New(Options{Strategy: core.TopDown, Planner: planner.Adaptive})
+	if e.Planner() != nil {
+		t.Fatal("planner constructed for a fixed-strategy engine")
+	}
+	res := e.NewSession(workload.Doc(20)).Do("//a")
+	if res.Err != nil || res.Strategy != core.TopDown || res.Planned {
+		t.Fatalf("result = %v strategy %v planned %v, want plain TopDown", res.Err, res.Strategy, res.Planned)
+	}
+}
+
+// TestEntryEwmaFeedsPlanner: evaluation latencies land on the shared
+// cache entry per strategy, giving the planner its most specific
+// evidence.
+func TestEntryEwmaFeedsPlanner(t *testing.T) {
+	e := New(Options{Strategy: core.Auto, Planner: planner.Adaptive, CacheSize: 8})
+	e.Planner().SetExploreEvery(0)
+	sess := e.NewSession(workload.Doc(50))
+	const src = "//a/b"
+	res := sess.Do(src)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	entry, ok := e.cache.get(src)
+	if !ok {
+		t.Fatal("evaluated query not in cache")
+	}
+	if _, ok := entry.StrategySeconds(res.Strategy); !ok {
+		t.Fatalf("no per-entry EWMA recorded for the strategy that ran (%v)", res.Strategy)
+	}
+}

@@ -41,6 +41,21 @@ func badLabelDynamic(reg *obs.Registry, label string) {
 	reg.HistogramVec("fixture_wait_seconds", help, nil, label) // want `label name passed to Registry.HistogramVec is not a compile-time constant string`
 }
 
+// plannerStyle mirrors the planner's registration pattern: one labeled
+// decision family plus Func-backed counters and a gauge reading atomic
+// state — all checkable constants.
+func plannerStyle(reg *obs.Registry) {
+	reg.CounterVec("fixture_planner_decisions_total", help, "strategy")
+	reg.CounterFunc("fixture_planner_explore_total", help, func() float64 { return 0 })
+	reg.CounterFunc("fixture_planner_bans_total", help, func() float64 { return 0 })
+	reg.CounterFunc("fixture_planner_wins_total", help, func() float64 { return 0 })
+	reg.GaugeFunc("fixture_planner_classes", help, func() float64 { return 0 })
+}
+
+func badPlannerCase(reg *obs.Registry) {
+	reg.CounterFunc("fixture_plannerBans_total", help, func() float64 { return 0 }) // want `metric name "fixture_plannerBans_total" is not snake_case`
+}
+
 // A spread label slice is invisible to the analyzer: the metric name
 // is still checked, the labels are not.
 func spreadLabels(reg *obs.Registry, labels []string) {

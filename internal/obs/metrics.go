@@ -580,6 +580,22 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return h
 }
 
+// Peek returns the child histogram for the given label values, or nil
+// if that cell has never been observed. Readers that probe many cells
+// speculatively — the adaptive planner scans (fragment, strategy)
+// pairs for latency evidence — use Peek so the probe does not
+// materialize empty series in the /metrics exposition the way With
+// would.
+func (v *HistogramVec) Peek(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.children[key]
+}
+
 func (v *HistogramVec) write(w io.Writer) {
 	v.mu.RLock()
 	keys := append([]string{}, v.order...)

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestPlannedResponseOverHTTP drives the planner end to end: with
+// -planner=adaptive the response names the concrete strategy the
+// planner chose, carries the planned marker, and /stats exposes the
+// decision counters.
+func TestPlannedResponseOverHTTP(t *testing.T) {
+	srv := New(engine.New(engine.Options{
+		Strategy: core.Auto, Planner: planner.Adaptive,
+	}), store.Config{})
+	if _, _, err := srv.AddDocument("catalog", workload.Catalog(20).XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, out := postJSON(t, ts.URL+"/query", QueryRequest{Doc: "catalog", Query: "//product"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["planned"] != true {
+		t.Fatalf("response = %v, want planned=true", out)
+	}
+	if s, _ := out["strategy"].(string); s == "" || s == "auto" {
+		t.Fatalf("strategy = %q, want a concrete planned strategy", s)
+	}
+
+	_, stats := getJSON(t, ts.URL+"/stats")
+	ps, ok := stats["planner"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats = %v, want a planner section", stats)
+	}
+	if ps["mode"] != "adaptive" {
+		t.Fatalf("planner mode = %v, want adaptive", ps["mode"])
+	}
+	if ps["decisions"].(float64) < 1 {
+		t.Fatalf("planner decisions = %v, want >= 1", ps["decisions"])
+	}
+}
+
+// TestPlannerOffStatsSection: without a planner the section still
+// exists and reports mode off, so dashboards need no conditionals.
+func TestPlannerOffStatsSection(t *testing.T) {
+	srv := New(engine.New(engine.Options{}), store.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	_, stats := getJSON(t, ts.URL+"/stats")
+	ps, ok := stats["planner"].(map[string]any)
+	if !ok || ps["mode"] != "off" {
+		t.Fatalf("planner section = %v, want mode off", stats["planner"])
+	}
+}
+
+// TestPlannedFallbackReportsActualStrategy is the regression test for
+// the post-fallback strategy bug: when a planned bottomup pick trips
+// the table limit and the MinContext rescue produces the value, the
+// response must name mincontext — the strategy that actually ran —
+// not the one the planner requested, and must carry both markers.
+// (The old render path re-derived the strategy via StrategyFor, which
+// under a stateful planner can also disagree with the decision that
+// executed; the response now reports the Result verbatim.)
+func TestPlannedFallbackReportsActualStrategy(t *testing.T) {
+	eng := engine.New(engine.Options{
+		Strategy: core.Auto, Planner: planner.Adaptive, MaxTableRows: 4,
+	})
+	srv := New(eng, store.Config{})
+	doc := workload.Catalog(30)
+	if _, _, err := srv.AddDocument("catalog", doc.XMLString()); err != nil {
+		t.Fatal(err)
+	}
+	const query = "count(//product[position() = last()])"
+	// Seed the planner so it routes this shape class to bottomup; the
+	// registered document re-parses to the same node count, so the
+	// seeded class matches the served decision.
+	p := eng.Planner()
+	p.SetExploreEvery(0)
+	p.Observe(core.MustCompile(query), doc.Len(), core.BottomUp, time.Microsecond, false)
+
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, out := postJSON(t, ts.URL+"/query", QueryRequest{Doc: "catalog", Query: query})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v (planned fallback did not rescue)", resp.StatusCode, out)
+	}
+	if out["strategy"] != "mincontext" {
+		t.Fatalf("strategy = %v, want mincontext (what actually ran)", out["strategy"])
+	}
+	if out["fallback"] != true || out["planned"] != true {
+		t.Fatalf("response = %v, want fallback=true planned=true", out)
+	}
+	if val := out["value"].(map[string]any); val["number"] != 1.0 {
+		t.Fatalf("value = %v, want 1", val)
+	}
+	_, stats := getJSON(t, ts.URL+"/stats")
+	if stats["fallbacks"].(float64) != 1 {
+		t.Fatalf("stats fallbacks = %v, want 1", stats["fallbacks"])
+	}
+	if ps := stats["planner"].(map[string]any); ps["bans"].(float64) != 1 {
+		t.Fatalf("planner bans = %v, want 1", ps["bans"])
+	}
+}

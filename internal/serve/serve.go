@@ -317,13 +317,18 @@ func clip(s string) (string, bool) {
 // of /batch). Version is the served document's monotonic version — the
 // key the cluster router's answer cache is invalidated by.
 type QueryResponse struct {
-	Query    string     `json:"query"`
-	Fragment string     `json:"fragment"`
-	Strategy string     `json:"strategy"`
-	Version  uint64     `json:"version,omitempty"`
-	Fallback bool       `json:"fallback,omitempty"`
-	Value    *ValueJSON `json:"value,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	Query    string `json:"query"`
+	Fragment string `json:"fragment"`
+	Strategy string `json:"strategy"`
+	Version  uint64 `json:"version,omitempty"`
+	Fallback bool   `json:"fallback,omitempty"`
+	// Planned marks a strategy chosen by the engine's adaptive planner
+	// (as opposed to the static Auto fragment switch or a fixed
+	// -strategy); Strategy then names the planner's pick — or the
+	// MinContext rescue when Fallback is also set.
+	Planned bool       `json:"planned,omitempty"`
+	Value   *ValueJSON `json:"value,omitempty"`
+	Error   string     `json:"error,omitempty"`
 	// Trace is the request's span tree, present only when the client
 	// asked for it with ?trace=1 (the EXPLAIN ANALYZE of this protocol).
 	Trace *obs.TraceJSON `json:"trace,omitempty"`
@@ -405,10 +410,13 @@ func renderValue(d *core.Document, v core.Value) *ValueJSON {
 }
 
 // render turns an evaluation outcome into a response, annotating it
-// with the fragment classification and chosen algorithm straight off
-// the compiled query (no second cache lookup, so /stats counts each
-// served query exactly once). A result rescued by the table-limit
-// fallback reports the strategy that actually produced the value.
+// with the fragment classification off the compiled query and the
+// strategy off the Result — the one the session actually ran, post-
+// planning and post-fallback. It must never re-derive the strategy
+// (the old StrategyFor re-derivation was wrong twice over: a result
+// rescued by the table-limit fallback would report the strategy that
+// failed, and under an adaptive planner a second derivation can
+// legitimately differ from the decision that executed).
 //
 // The document version is a required argument, not an afterthought:
 // every response constructor must carry it so the (doc, query,
@@ -419,10 +427,10 @@ func (s *Server) render(sess *engine.Session, ver uint64, res engine.Result) Que
 	resp := QueryResponse{Query: res.Query, Version: ver}
 	if res.Compiled != nil {
 		resp.Fragment = res.Compiled.Fragment().String()
-		resp.Strategy = sess.StrategyFor(res.Compiled).String()
+		resp.Strategy = res.Strategy.String()
+		resp.Planned = res.Planned
 	}
 	if res.FellBack {
-		resp.Strategy = core.MinContext.String()
 		resp.Fallback = true
 	}
 	if res.Err != nil {
@@ -728,11 +736,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		docs[name] = docStat{Nodes: sess.Document().Len(), Version: s.docVersion(name)}
 		return true
 	})
+	plannerStats := map[string]any{"mode": "off"}
+	if p := s.eng.Planner(); p != nil {
+		ps := p.Stats()
+		plannerStats = map[string]any{
+			"mode":      ps.Mode,
+			"decisions": ps.Decisions,
+			"explored":  ps.Explored,
+			"bans":      ps.Bans,
+			"wins":      ps.Wins,
+			"classes":   ps.Classes,
+		}
+	}
 	WriteJSON(w, http.StatusOK, map[string]any{
 		"cache": map[string]any{
 			"hits":               st.Hits,
 			"misses":             st.Misses,
 			"evictions":          st.Evictions,
+			"rejects":            st.Rejects,
 			"size":               st.Size,
 			"capacity":           st.Capacity,
 			"hit_rate":           st.HitRate(),
@@ -743,6 +764,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"fallbacks":   st.Fallbacks,
 		"strategy":    s.eng.Strategy().String(),
 		"parallelism": s.eng.Parallelism(),
+		"planner":     plannerStats,
 		"documents":   docs,
 		"store":       s.docs.Stats(),
 	})
